@@ -1,0 +1,30 @@
+"""Benchmark plumbing.
+
+Every benchmark regenerates one table or figure of the paper and prints
+the rows/series (bypassing capture) so that
+
+    pytest benchmarks/ --benchmark-only
+
+produces the full paper-vs-measured record. Experiments run once per
+benchmark (``rounds=1``): the quantity under test is the experiment's
+output, the wall time is reported for bookkeeping.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark, capsys):
+    """Run an experiment once under the benchmark timer and print its
+    rendered output to the real terminal."""
+
+    def _run(run_fn, render_fn, *args, **kwargs):
+        result = benchmark.pedantic(
+            lambda: run_fn(*args, **kwargs), rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(render_fn(result))
+        return result
+
+    return _run

@@ -1,0 +1,17 @@
+"""Figure 10: priority vs fair vs inference-only scheduling."""
+
+from repro.eval import fig10
+
+
+def test_fig10_scheduling(run_once):
+    result = run_once(fig10.run, fig10.render)
+    # Priority scheduling sustains at least the fair scheduler's
+    # throughput under the latency target (paper: 1.3x better), and
+    # approaches the inference-only accelerator.
+    priority = result.max_throughput_under_target("Inf+Train+Priority")
+    fair = result.max_throughput_under_target("Inf+Train+Fair")
+    alone = result.max_throughput_under_target("Inf")
+    assert priority >= fair
+    assert priority >= 0.85 * alone
+    # Training is actually harvested under both co-location policies.
+    assert any(train > 10 for _, _, train in result.curves["Inf+Train+Priority"])

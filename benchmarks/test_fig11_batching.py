@@ -1,0 +1,20 @@
+"""Figure 11: adaptive batching policy, threshold sweep, training impact."""
+
+from repro.eval import fig11
+
+
+def test_fig11_adaptive_batching(run_once):
+    result = run_once(fig11.run, fig11.render)
+    # (a) static batching violates the target at low load; adaptive
+    # bounds formation time and meets it.
+    assert result.static_violates_at_low_load()
+    assert result.adaptive_meets_at_low_load()
+    # (b) larger thresholds mean higher low-load p99.
+    low_idx = 0
+    p99_2x = result.threshold_curves[2.0][low_idx][0]
+    p99_10x = result.threshold_curves[10.0][low_idx][0]
+    assert p99_10x > p99_2x
+    # Long waits are infrequent: even at 10x, most batches are complete
+    # at moderate load (paper: <1% incomplete).
+    mid_idx = len(result.loads) // 2
+    assert result.threshold_curves[10.0][mid_idx][2] < 0.5

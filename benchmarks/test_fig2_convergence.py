@@ -1,0 +1,10 @@
+"""Figure 2: hbfp8 vs fp32 convergence (classification + perplexity)."""
+
+from repro.eval import fig2
+
+
+def test_fig2_convergence(run_once):
+    result = run_once(fig2.run, fig2.render)
+    # The claim: hbfp8 tracks fp32.
+    assert result.final_error_gap() < 6.0
+    assert 0.8 < result.final_perplexity_ratio() < 1.25

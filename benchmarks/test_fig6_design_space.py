@@ -1,0 +1,13 @@
+"""Figure 6: latency-vs-throughput design space, hbfp8 and bfloat16."""
+
+from repro.eval import fig6
+
+
+def test_fig6_design_space(run_once):
+    result = run_once(fig6.run, fig6.render)
+    # hbfp8's frontier pushes far past bfloat16's early knee.
+    assert result.max_throughput("hbfp8") > 300
+    assert result.max_throughput("bfloat16") < 100
+    assert result.knee_throughput("hbfp8") > 4 * result.knee_throughput(
+        "bfloat16"
+    )

@@ -1,0 +1,17 @@
+"""Figure 8: Equinox_500µs MMU cycle breakdown, Inf vs Inf+Train."""
+
+from repro.eval import fig8
+
+
+def test_fig8_cycle_breakdown(run_once):
+    result = run_once(fig8.run, fig8.render)
+    # At 5% load roughly half the machine idles and dummies dominate
+    # the busy share; training reclaims most of the idle.
+    low = result.breakdowns[(0.05, False)]
+    assert low["idle"] > 0.3
+    assert low["dummy"] > low["working"]
+    assert result.idle_reclaimed(0.05) > 0.15
+    # At 95% the accelerator saturates: training is starved out.
+    assert result.training_top_s[(0.95, True)] < result.training_top_s[
+        (0.5, True)
+    ]

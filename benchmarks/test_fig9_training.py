@@ -1,0 +1,15 @@
+"""Figure 9: training throughput vs inference load, all configurations."""
+
+from repro.eval import fig9
+
+
+def test_fig9_training_throughput(run_once):
+    result = run_once(fig9.run, fig9.render)
+    # Equinox_500us harvests a large fraction of the dedicated
+    # accelerator at 60% load (paper: 78%); Equinox_min stays low
+    # (paper: 19%).
+    assert result.fraction_of_max("500us", 0.6) > 0.45
+    assert result.fraction_of_max("min", 0.6) < 0.35
+    # Harvest declines with load for every configuration.
+    for series in result.curves.values():
+        assert series[0] > series[-1]

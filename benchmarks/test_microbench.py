@@ -1,0 +1,64 @@
+"""Kernel microbenchmarks: simulator event rate and quantized GEMMs.
+
+Unlike the experiment benchmarks (rounds=1), these time small kernels
+properly so regressions in the hot paths show up in the
+pytest-benchmark table.
+"""
+
+import numpy as np
+
+from repro.arith.bfloat16 import to_bfloat16
+from repro.arith.bfp import BFPFormat, BlockFloatTensor
+from repro.arith.hbfp import hbfp_gemm
+from repro.sim.engine import Simulator
+from repro.sim.resources import SerialResource
+
+
+def test_event_loop_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5000:
+                sim.after(1.0, tick)
+
+        sim.after(1.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 5000
+
+
+def test_serial_resource_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        res = SerialResource(sim)
+        for _ in range(2000):
+            res.request(1.0)
+        sim.run()
+        return res.busy_cycles
+
+    assert benchmark(run) == 2000.0
+
+
+def test_bfp_quantization(benchmark):
+    x = np.random.default_rng(0).standard_normal((256, 256)).astype(np.float32)
+    fmt = BFPFormat()
+    result = benchmark(lambda: BlockFloatTensor.from_float(x, fmt))
+    assert result.shape == (256, 256)
+
+
+def test_hbfp_gemm(benchmark):
+    rng = np.random.default_rng(1)
+    a = rng.standard_normal((64, 256)).astype(np.float32)
+    b = rng.standard_normal((256, 64)).astype(np.float32)
+    out = benchmark(lambda: hbfp_gemm(a, b))
+    assert out.shape == (64, 64)
+
+
+def test_bfloat16_rounding(benchmark):
+    x = np.random.default_rng(2).standard_normal((512, 512)).astype(np.float32)
+    out = benchmark(lambda: to_bfloat16(x))
+    assert out.shape == x.shape

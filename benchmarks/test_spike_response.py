@@ -1,0 +1,12 @@
+"""Spike response: the priority guard in the time domain (extension)."""
+
+from repro.eval import spike
+
+
+def test_spike_response(run_once):
+    result = run_once(spike.run, spike.render)
+    # The guard sacrifices training, not latency, during the spike —
+    # and the harvest recovers when the spike subsides (§3.2).
+    assert result.training_drop() > 0.3
+    assert result.recovers()
+    assert result.latency_always_under_target()

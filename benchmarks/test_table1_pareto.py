@@ -1,0 +1,10 @@
+"""Table 1: Pareto-optimal designs under latency constraints."""
+
+from repro.eval import table1
+
+
+def test_table1_pareto(run_once):
+    result = run_once(table1.run, table1.render)
+    # Headline ratios: paper reports 5.53x (50µs) and 6.67x (500µs).
+    assert 4.0 <= result.throughput_ratio("hbfp8", "50us") <= 7.0
+    assert 5.0 <= result.throughput_ratio("hbfp8", "500us") <= 8.0

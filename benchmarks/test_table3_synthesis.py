@@ -1,0 +1,15 @@
+"""Table 3: Equinox_500µs component area/power and overheads."""
+
+from repro.eval import table3
+
+
+def test_table3_synthesis(run_once):
+    result = run_once(table3.run, table3.render)
+    report = result.report
+    assert report.total_area_mm2 < 320
+    assert report.total_power_w < 95
+    # Headline overheads: controllers <1%, encoding ~4% area/13% power.
+    assert result.overheads["controller_area_overhead"] < 0.01
+    assert result.overheads["controller_power_overhead"] < 0.01
+    assert 0.02 < result.overheads["encoding_area_overhead"] < 0.07
+    assert 0.08 < result.overheads["encoding_power_overhead"] < 0.18

@@ -1,0 +1,36 @@
+"""repro — reproduction of *Equinox: Training (for Free) on a Custom
+Inference Accelerator* (MICRO 2021).
+
+The top-level namespace re-exports the objects most users need; the
+subpackages hold the full system (see README.md for the map):
+
+>>> import repro
+>>> config = repro.equinox_configuration("500us")
+>>> accelerator = repro.EquinoxAccelerator(
+...     config, repro.deepbench_lstm(),
+...     training_model=repro.deepbench_lstm(),
+... )
+"""
+
+from repro.core.equinox import EquinoxAccelerator, SimulationReport
+from repro.dse.table1 import equinox_configuration, pareto_table
+from repro.hw.config import AcceleratorConfig
+from repro.models.gru import deepbench_gru
+from repro.models.lstm import deepbench_lstm
+from repro.models.resnet import resnet50
+from repro.models.training import build_training_plan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EquinoxAccelerator",
+    "SimulationReport",
+    "AcceleratorConfig",
+    "equinox_configuration",
+    "pareto_table",
+    "deepbench_lstm",
+    "deepbench_gru",
+    "resnet50",
+    "build_training_plan",
+    "__version__",
+]

@@ -1,0 +1,76 @@
+"""Command-line experiment runner.
+
+    python -m repro list
+    python -m repro table1
+    python -m repro fig9 --loads 0.2 0.6 0.95
+    python -m repro all
+
+Each experiment prints the same text tables the benchmark harness
+produces; ``all`` regenerates the full evaluation in one go.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.eval import (
+    fig2, fig6, fig7, fig8, fig9, fig10, fig11, spike,
+    table1, table2, table3,
+)
+
+EXPERIMENTS = {
+    "fig2": (fig2, "hbfp8 vs fp32 convergence"),
+    "fig6": (fig6, "design-space clouds and Pareto frontiers"),
+    "fig7": (fig7, "inference p99 latency vs throughput"),
+    "fig8": (fig8, "MMU cycle breakdown"),
+    "fig9": (fig9, "training throughput vs inference load"),
+    "fig10": (fig10, "scheduling-policy comparison"),
+    "fig11": (fig11, "adaptive batching"),
+    "table1": (table1, "Pareto-optimal designs"),
+    "table2": (table2, "workload sensitivity"),
+    "table3": (table3, "area/power synthesis"),
+    "spike": (spike, "spike response (extension)"),
+}
+
+
+def _run_one(name: str, loads) -> None:
+    module, _ = EXPERIMENTS[name]
+    kwargs = {}
+    if loads and hasattr(module.run, "__code__") and (
+        "loads" in module.run.__code__.co_varnames
+    ):
+        kwargs["loads"] = tuple(loads)
+    started = time.time()
+    result = module.run(**kwargs)
+    print(module.render(result))
+    print(f"\n[{name} completed in {time.time() - started:.1f}s]\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the Equinox paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="which experiment to run ('list' shows descriptions)",
+    )
+    parser.add_argument(
+        "--loads", type=float, nargs="+", default=None,
+        help="override the offered-load grid for load-sweep experiments",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(f"{name:8s} {EXPERIMENTS[name][1]}")
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _run_one(name, args.loads)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Arithmetic encodings used by Equinox datapaths.
+
+The paper evaluates two datapath encodings:
+
+* ``hbfp8`` — hybrid block floating point [Drumond et al., NeurIPS'18]:
+  all matrix operands are blocks of 8-bit fixed-point mantissas sharing a
+  single 12-bit exponent, multiplied with 8-bit multipliers and
+  accumulated in 25-bit fixed point; non-GEMM (SIMD) work runs in
+  bfloat16.
+* ``bfloat16`` — the state-of-the-art reference for custom training
+  accelerators, with fp32 accumulation.
+
+This package provides functional implementations of both (plus plain
+fixed point used by the inference-only baseline), a block-floating-point
+tensor type, and quantized GEMM routines that the training substrate
+(:mod:`repro.train`) and the functional systolic model
+(:mod:`repro.hw.systolic`) consume.
+"""
+
+from repro.arith.types import Encoding, ENCODINGS, encoding_by_name
+from repro.arith.bfloat16 import to_bfloat16, bfloat16_quantization_step
+from repro.arith.fixed_point import quantize_fixed_point, FixedPointFormat
+from repro.arith.bfp import BlockFloatTensor, quantize_bfp, BFPFormat
+from repro.arith.hbfp import hbfp_gemm, HBFP8, HBFPConfig
+from repro.arith.gemm import gemm, reference_gemm
+
+__all__ = [
+    "Encoding",
+    "ENCODINGS",
+    "encoding_by_name",
+    "to_bfloat16",
+    "bfloat16_quantization_step",
+    "quantize_fixed_point",
+    "FixedPointFormat",
+    "BlockFloatTensor",
+    "quantize_bfp",
+    "BFPFormat",
+    "hbfp_gemm",
+    "HBFP8",
+    "HBFPConfig",
+    "gemm",
+    "reference_gemm",
+]

@@ -1,0 +1,245 @@
+"""Block floating point (BFP) tensors.
+
+A BFP tensor partitions a 2-D array into tiles; all values in a tile are
+stored as signed fixed-point mantissas sharing a single exponent (the
+tile maximum's exponent). This is the storage format of Equinox's hbfp8
+datapath: 8-bit mantissas, a 12-bit exponent per tile, and tile-tile
+matrix multiplication performed as an integer GEMM plus an exponent add
+(paper §3.2).
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BFPFormat:
+    """Shape of a block-floating-point encoding.
+
+    Attributes:
+        mantissa_bits: Signed mantissa width (8 for hbfp8).
+        exponent_bits: Shared exponent width (12 in the paper, enough to
+            never saturate in practice; exponents are clamped to this
+            range on encode).
+        block_rows: Tile height.
+        block_cols: Tile width.
+    """
+
+    mantissa_bits: int = 8
+    exponent_bits: int = 12
+    block_rows: int = 16
+    block_cols: int = 16
+
+    def __post_init__(self) -> None:
+        if self.mantissa_bits < 2:
+            raise ValueError("mantissa needs at least 2 bits")
+        if self.block_rows < 1 or self.block_cols < 1:
+            raise ValueError("block dimensions must be positive")
+
+    @property
+    def exponent_min(self) -> int:
+        return -(2 ** (self.exponent_bits - 1))
+
+    @property
+    def exponent_max(self) -> int:
+        return 2 ** (self.exponent_bits - 1) - 1
+
+    @property
+    def mantissa_min(self) -> int:
+        return -(2 ** (self.mantissa_bits - 1))
+
+    @property
+    def mantissa_max(self) -> int:
+        return 2 ** (self.mantissa_bits - 1) - 1
+
+
+BFP8 = BFPFormat(mantissa_bits=8, exponent_bits=12)
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+class BlockFloatTensor:
+    """A 2-D tensor stored in block floating point.
+
+    The tensor is padded up to whole tiles internally; ``shape`` reports
+    the logical (unpadded) shape and :meth:`to_float` returns the
+    unpadded decode.
+
+    Attributes:
+        fmt: The :class:`BFPFormat` in force.
+        mantissas: Integer mantissas with padded shape, dtype int32.
+        exponents: Per-tile exponents, shape
+            ``(rows/block_rows, cols/block_cols)``, dtype int32.
+    """
+
+    def __init__(
+        self,
+        fmt: BFPFormat,
+        mantissas: np.ndarray,
+        exponents: np.ndarray,
+        logical_shape: tuple,
+    ):
+        self.fmt = fmt
+        self.mantissas = mantissas
+        self.exponents = exponents
+        self._logical_shape = tuple(logical_shape)
+
+    @property
+    def shape(self) -> tuple:
+        return self._logical_shape
+
+    @property
+    def tile_grid(self) -> tuple:
+        """Number of tiles along each axis."""
+        return self.exponents.shape
+
+    @classmethod
+    def from_float(
+        cls,
+        values: np.ndarray,
+        fmt: BFPFormat = BFP8,
+        rounding: str = "nearest",
+        rng: "np.random.Generator | None" = None,
+    ) -> "BlockFloatTensor":
+        """Quantize a float array into BFP.
+
+        For each tile the shared exponent is chosen so the tile maximum
+        maps into (0.5, 1] before mantissa scaling; mantissas are
+        rounded and clipped to the signed range. All-zero tiles use the
+        minimum exponent.
+
+        Args:
+            values: 2-D float array.
+            fmt: Block format.
+            rounding: ``"nearest"`` (datapath converters) or
+                ``"stochastic"`` — the unbiased rounding HBFP training
+                uses on the weight-update path so that sub-LSB updates
+                survive in expectation.
+            rng: Randomness source for stochastic rounding (a default
+                generator is created when omitted).
+        """
+        x = np.asarray(values, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"BFP tensors are 2-D, got shape {x.shape}")
+        if rounding not in ("nearest", "stochastic"):
+            raise ValueError(f"unknown rounding mode {rounding!r}")
+        rows, cols = x.shape
+        br, bc = fmt.block_rows, fmt.block_cols
+        pad_rows = _ceil_div(rows, br) * br
+        pad_cols = _ceil_div(cols, bc) * bc
+        padded = np.zeros((pad_rows, pad_cols), dtype=np.float64)
+        padded[:rows, :cols] = x
+
+        # Shape into (tile_r, br, tile_c, bc) to reduce per tile.
+        tiles = padded.reshape(pad_rows // br, br, pad_cols // bc, bc)
+        max_abs = np.abs(tiles).max(axis=(1, 3))
+        with np.errstate(divide="ignore"):
+            exponents = np.where(
+                max_abs > 0, np.ceil(np.log2(max_abs)), fmt.exponent_min
+            ).astype(np.int64)
+        # A tile max that is an exact power of two maps to mantissa 1.0,
+        # which overflows the signed range; the clip below absorbs it as
+        # a one-LSB saturation.
+        exponents = np.clip(exponents, fmt.exponent_min, fmt.exponent_max)
+
+        scale = np.exp2(exponents - (fmt.mantissa_bits - 1)).astype(np.float64)
+        # All-zero tiles carry the minimum exponent, whose scale can
+        # underflow to 0.0; their mantissas are zero regardless, so use
+        # a unit scale to keep the division well-defined.
+        safe_scale = np.where(max_abs > 0, scale, 1.0)
+        scaled = tiles / safe_scale[:, None, :, None]
+        if rounding == "stochastic":
+            rng = rng or np.random.default_rng()
+            floor = np.floor(scaled)
+            frac = scaled - floor
+            mant = floor + (rng.random(scaled.shape) < frac)
+        else:
+            mant = np.round(scaled)
+        mant = np.clip(mant, fmt.mantissa_min, fmt.mantissa_max)
+        mantissas = mant.reshape(pad_rows, pad_cols).astype(np.int32)
+        return cls(fmt, mantissas, exponents.astype(np.int32), (rows, cols))
+
+    def to_float(self) -> np.ndarray:
+        """Decode back to float32 (logical shape, padding stripped)."""
+        br, bc = self.fmt.block_rows, self.fmt.block_cols
+        pad_rows, pad_cols = self.mantissas.shape
+        tiles = self.mantissas.reshape(pad_rows // br, br, pad_cols // bc, bc)
+        scale = np.exp2(
+            self.exponents.astype(np.float64) - (self.fmt.mantissa_bits - 1)
+        )
+        decoded = tiles * scale[:, None, :, None]
+        rows, cols = self._logical_shape
+        return decoded.reshape(pad_rows, pad_cols)[:rows, :cols].astype(np.float32)
+
+    def storage_bits(self) -> int:
+        """Total storage footprint in bits (mantissas + shared exponents)."""
+        n_tiles = self.exponents.size
+        return (
+            self.mantissas.size * self.fmt.mantissa_bits
+            + n_tiles * self.fmt.exponent_bits
+        )
+
+    def quantization_error(self, reference: np.ndarray) -> float:
+        """Max absolute decode error against ``reference``."""
+        return float(np.abs(self.to_float() - np.asarray(reference, np.float32)).max())
+
+
+def quantize_bfp(values: np.ndarray, fmt: BFPFormat = BFP8) -> np.ndarray:
+    """Round-trip a float array through BFP (quantize-dequantize)."""
+    return BlockFloatTensor.from_float(values, fmt).to_float()
+
+
+def bfp_matmul(
+    a: BlockFloatTensor, b: BlockFloatTensor, accumulator_bits: int = 25
+) -> np.ndarray:
+    """Multiply two BFP tensors the way Equinox's systolic arrays do.
+
+    Each tile-pair product is an integer GEMM (8-bit multipliers feeding
+    ``accumulator_bits``-wide accumulators, saturating) whose scale is
+    the sum of the two tile exponents; partial tiles are accumulated
+    across the K dimension in float, modeling the fp32/bfloat16
+    accumulation after the exponent-synchronizing FIFO (paper §3.2).
+
+    Requires ``a.fmt.block_cols == b.fmt.block_rows`` so tiles align
+    along the reduction dimension.
+
+    Returns the float32 product with logical shape (a.rows, b.cols).
+    """
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch {a.shape} @ {b.shape}")
+    if a.fmt.block_cols != b.fmt.block_rows:
+        raise ValueError("tile reduction dimensions must align")
+    mant_bits = a.fmt.mantissa_bits
+    frac = 2 * (mant_bits - 1)
+    sat_hi = 2 ** (accumulator_bits - 1) - 1
+    sat_lo = -(2 ** (accumulator_bits - 1))
+
+    br_a, k_blk = a.fmt.block_rows, a.fmt.block_cols
+    bc_b = b.fmt.block_cols
+    grid_m, grid_k = a.tile_grid
+    grid_k2, grid_n = b.tile_grid
+    if grid_k != grid_k2:
+        raise ValueError("tile grids do not align along K")
+
+    out = np.zeros((grid_m * br_a, grid_n * bc_b), dtype=np.float64)
+    a_m = a.mantissas.astype(np.int64)
+    b_m = b.mantissas.astype(np.int64)
+    for km in range(grid_k):
+        a_strip = a_m[:, km * k_blk : (km + 1) * k_blk]
+        b_strip = b_m[km * k_blk : (km + 1) * k_blk, :]
+        for im in range(grid_m):
+            a_tile = a_strip[im * br_a : (im + 1) * br_a]
+            prods = a_tile @ b_strip  # integer GEMM across all N tiles
+            for jn in range(grid_n):
+                tile = prods[:, jn * bc_b : (jn + 1) * bc_b]
+                tile = np.clip(tile, sat_lo, sat_hi)
+                exp = int(a.exponents[im, km]) + int(b.exponents[km, jn])
+                out[
+                    im * br_a : (im + 1) * br_a, jn * bc_b : (jn + 1) * bc_b
+                ] += tile * (2.0 ** (exp - frac))
+
+    rows, cols = a.shape[0], b.shape[1]
+    return out[:rows, :cols].astype(np.float32)

@@ -1,0 +1,81 @@
+"""Plain fixed-point quantization.
+
+The inference-only baseline accelerator (the one Equinox's overheads are
+measured against in the synthesis results) uses a static fixed-point
+format per tensor. This module provides a simple Q-format quantizer with
+saturation, plus helpers to pick a format for a given tensor.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed fixed-point Q-format.
+
+    Attributes:
+        total_bits: Total width including the sign bit.
+        frac_bits: Number of fractional bits; may be negative (scaling
+            up) or exceed ``total_bits`` (scaling down).
+    """
+
+    total_bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2:
+            raise ValueError("fixed-point format needs at least 2 bits")
+
+    @property
+    def scale(self) -> float:
+        """Value of one LSB."""
+        return 2.0 ** -self.frac_bits
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value."""
+        return (2 ** (self.total_bits - 1) - 1) * self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Most negative representable value."""
+        return -(2 ** (self.total_bits - 1)) * self.scale
+
+    @classmethod
+    def for_range(cls, max_abs: float, total_bits: int = 8) -> "FixedPointFormat":
+        """Choose the format with the most fractional bits covering ``max_abs``.
+
+        Picks the largest f with (2^(total-1) - 1)·2^-f >= max_abs, so
+        the positive full-scale code exactly covers the range.
+        """
+        if max_abs <= 0:
+            return cls(total_bits=total_bits, frac_bits=total_bits - 1)
+        max_code = 2 ** (total_bits - 1) - 1
+        frac_bits = int(np.floor(np.log2(max_code / max_abs)))
+        return cls(total_bits=total_bits, frac_bits=frac_bits)
+
+
+def quantize_fixed_point(
+    values: np.ndarray, fmt: FixedPointFormat
+) -> np.ndarray:
+    """Round ``values`` to ``fmt`` with saturation, returned as float32.
+
+    Rounds to nearest (ties away from zero, matching a hardware
+    round-half-up adder) and clamps to the representable range.
+    """
+    x = np.asarray(values, dtype=np.float64)
+    q = np.round(x / fmt.scale) * fmt.scale
+    return np.clip(q, fmt.min_value, fmt.max_value).astype(np.float32)
+
+
+def quantize_to_integers(
+    values: np.ndarray, fmt: FixedPointFormat
+) -> np.ndarray:
+    """Quantize and return the raw integer codes (int32)."""
+    x = np.asarray(values, dtype=np.float64)
+    codes = np.round(x / fmt.scale)
+    lo = -(2 ** (fmt.total_bits - 1))
+    hi = 2 ** (fmt.total_bits - 1) - 1
+    return np.clip(codes, lo, hi).astype(np.int32)

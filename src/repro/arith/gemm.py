@@ -1,0 +1,83 @@
+"""Encoding-dispatched GEMM.
+
+A single entry point that routes a matrix multiplication through the
+functional model of the requested datapath encoding. The training
+substrate and the examples use this so that switching an experiment from
+fp32 to hbfp8 to bfloat16 is a one-argument change — exactly the
+comparison Figure 2 of the paper makes.
+"""
+
+import numpy as np
+
+from repro.arith.bfloat16 import to_bfloat16
+from repro.arith.fixed_point import FixedPointFormat, quantize_fixed_point
+from repro.arith.hbfp import HBFP8, HBFPConfig, hbfp_gemm
+
+
+def reference_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """fp32 GEMM, the accuracy reference for every encoding."""
+    return (
+        np.asarray(a, dtype=np.float32) @ np.asarray(b, dtype=np.float32)
+    ).astype(np.float32)
+
+
+def bfloat16_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """GEMM with bfloat16 operands and fp32 accumulation.
+
+    This is the TPU-style reference datapath the paper compares hbfp8
+    against: operands are rounded to bfloat16 before the multiply, and
+    products accumulate in fp32.
+    """
+    return reference_gemm(to_bfloat16(a), to_bfloat16(b))
+
+
+def fixed8_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """GEMM with per-tensor 8-bit fixed-point operands.
+
+    The inference-only baseline. Per-tensor (not per-tile) scaling makes
+    this encoding lose accuracy under the shifting value distributions of
+    training — the property that motivates HBFP.
+    """
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    fmt_a = FixedPointFormat.for_range(float(np.abs(a).max()), total_bits=8)
+    fmt_b = FixedPointFormat.for_range(float(np.abs(b).max()), total_bits=8)
+    return reference_gemm(
+        quantize_fixed_point(a, fmt_a), quantize_fixed_point(b, fmt_b)
+    )
+
+
+_GEMMS = {
+    "fp32": reference_gemm,
+    "bfloat16": bfloat16_gemm,
+    "fixed8": fixed8_gemm,
+}
+
+
+def gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    encoding: str = "fp32",
+    hbfp_config: HBFPConfig = HBFP8,
+) -> np.ndarray:
+    """Compute ``a @ b`` under the named datapath encoding.
+
+    Args:
+        a: Left operand, shape (M, K).
+        b: Right operand, shape (K, N).
+        encoding: One of ``fp32``, ``bfloat16``, ``fixed8``, ``hbfp8``.
+        hbfp_config: Block format used when ``encoding == "hbfp8"``.
+
+    Returns:
+        The float32 product as computed by that datapath.
+    """
+    if encoding == "hbfp8":
+        return hbfp_gemm(a, b, hbfp_config)
+    try:
+        fn = _GEMMS[encoding]
+    except KeyError:
+        raise KeyError(
+            f"unknown GEMM encoding {encoding!r}; choose from "
+            f"{sorted(_GEMMS) + ['hbfp8']}"
+        ) from None
+    return fn(a, b)

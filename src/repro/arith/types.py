@@ -1,0 +1,104 @@
+"""Encoding descriptors shared by the functional and analytical models.
+
+An :class:`Encoding` captures everything the rest of the system needs to
+know about a datapath numeric format: how wide operands are in the
+buffers (which drives SRAM bandwidth and energy), how wide the multiplier
+and accumulator are (which drives ALU area and energy in
+:mod:`repro.dse.tech`), and whether the format can support training.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Encoding:
+    """A datapath numeric encoding.
+
+    Attributes:
+        name: Short identifier, e.g. ``"hbfp8"``.
+        operand_bytes: Bytes one scalar operand occupies in on-chip
+            buffers. HBFP mantissas are 1 byte; the amortized share of
+            the 12-bit block exponent is folded into
+            ``exponent_overhead_bytes`` instead so that bandwidth math
+            can distinguish the two.
+        multiplier_bits: Width of the PE multiplier.
+        accumulator_bits: Width of the PE accumulator.
+        supports_training: Whether SGD converges at fp32 quality under
+            this encoding (per the paper: hbfp8 and bfloat16 do, plain
+            fixed point does not).
+        block_size: Number of mantissas sharing one exponent, or 1 for
+            non-block formats.
+        exponent_bits: Width of the (shared) exponent, 0 for pure fixed
+            point.
+    """
+
+    name: str
+    operand_bytes: float
+    multiplier_bits: int
+    accumulator_bits: int
+    supports_training: bool
+    block_size: int = 1
+    exponent_bits: int = 0
+
+    @property
+    def exponent_overhead_bytes(self) -> float:
+        """Amortized per-operand exponent storage in bytes."""
+        if self.block_size <= 1 or self.exponent_bits == 0:
+            return self.exponent_bits / 8.0
+        return self.exponent_bits / 8.0 / self.block_size
+
+    @property
+    def bytes_per_operand(self) -> float:
+        """Total per-operand buffer footprint including exponent share."""
+        return self.operand_bytes + self.exponent_overhead_bytes
+
+
+#: HBFP with 8-bit mantissas sharing a 12-bit exponent per tile and
+#: 25-bit fixed-point accumulators (paper §3.2).
+HBFP8_ENCODING = Encoding(
+    name="hbfp8",
+    operand_bytes=1.0,
+    multiplier_bits=8,
+    accumulator_bits=25,
+    supports_training=True,
+    block_size=256,
+    exponent_bits=12,
+)
+
+#: bfloat16 operands with fp32 accumulation (paper §3.2), the reference
+#: encoding for custom training accelerators (TPUv2/v3).
+BFLOAT16_ENCODING = Encoding(
+    name="bfloat16",
+    operand_bytes=2.0,
+    multiplier_bits=8,  # 8-bit mantissa (incl. implicit bit) datapath
+    accumulator_bits=32,
+    supports_training=True,
+    block_size=1,
+    exponent_bits=8,
+)
+
+#: Plain 8-bit fixed point, the inference-only baseline Equinox's
+#: overheads are measured against (paper §6, synthesis results).
+FIXED8_ENCODING = Encoding(
+    name="fixed8",
+    operand_bytes=1.0,
+    multiplier_bits=8,
+    accumulator_bits=25,
+    supports_training=False,
+    block_size=1,
+    exponent_bits=0,
+)
+
+ENCODINGS = {
+    enc.name: enc for enc in (HBFP8_ENCODING, BFLOAT16_ENCODING, FIXED8_ENCODING)
+}
+
+
+def encoding_by_name(name: str) -> Encoding:
+    """Look up an encoding by name, raising ``KeyError`` with choices."""
+    try:
+        return ENCODINGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown encoding {name!r}; choose from {sorted(ENCODINGS)}"
+        ) from None

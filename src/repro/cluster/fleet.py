@@ -1,0 +1,163 @@
+"""A fleet of Equinox accelerators training one model together.
+
+Each worker serves its own inference load (simulated event-level) while
+harvesting training; the fleet's synchronous rounds are composed by the
+parameter server. The headline question this answers is the paper's
+premise at datacenter scale: how many dedicated training accelerators'
+worth of throughput does a fleet of busy inference accelerators give
+away for free?
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.parameter_server import ParameterServer, SyncRound
+from repro.core.equinox import EquinoxAccelerator
+from repro.dse.table1 import equinox_configuration
+from repro.models.graph import ModelSpec
+from repro.models.lstm import deepbench_lstm
+from repro.models.training import build_training_plan
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """One worker's steady-state measurement at its load."""
+
+    worker_id: int
+    load: float
+    training_top_s: float
+    inference_top_s: float
+    p99_latency_us: float
+    iteration_s: float
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Fleet-level synchronous-training summary."""
+
+    workers: List[WorkerReport]
+    round: SyncRound
+    samples_per_s: float
+    fleet_training_top_s: float
+    dedicated_top_s: float
+
+    @property
+    def dedicated_equivalents(self) -> float:
+        """How many dedicated training accelerators the fleet's free
+        harvest is worth."""
+        return self.fleet_training_top_s / self.dedicated_top_s
+
+    @property
+    def scaling_efficiency(self) -> float:
+        """Fleet throughput relative to the sum of worker harvests
+        (losses come from the barrier and the parameter server)."""
+        independent = sum(w.training_top_s for w in self.workers)
+        if independent <= 0:
+            return 0.0
+        return self.fleet_training_top_s / independent
+
+
+class EquinoxFleet:
+    """N Equinox accelerators + one parameter server.
+
+    Args:
+        size: Number of accelerators.
+        latency_class: Design point every worker uses.
+        model: Inference/training model (default: the DeepBench LSTM).
+        training_batch: Per-worker minibatch.
+        server: Parameter-server model.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        latency_class: str = "500us",
+        model: Optional[ModelSpec] = None,
+        training_batch: int = 128,
+        server: Optional[ParameterServer] = None,
+    ):
+        if size < 1:
+            raise ValueError("a fleet needs at least one worker")
+        self.size = size
+        self.latency_class = latency_class
+        self.model = model or deepbench_lstm()
+        self.training_batch = training_batch
+        self.server = server or ParameterServer()
+        self.config = equinox_configuration(latency_class)
+        self.plan = build_training_plan(
+            self.model, self.config, batch=training_batch
+        )
+
+    def _measure_worker(
+        self, worker_id: int, load: float, batches: int, seed: int
+    ) -> WorkerReport:
+        accelerator = EquinoxAccelerator(
+            self.config,
+            self.model,
+            training_model=self.model,
+            training_batch=self.training_batch,
+        )
+        report = accelerator.run(
+            load=load,
+            requests=max(400, batches * accelerator.batch_slots),
+            seed=seed + worker_id,
+        )
+        ops = self.plan.ops_per_iteration
+        tput = report.training_top_s * 1e12
+        iteration_s = ops / tput if tput > 0 else float("inf")
+        return WorkerReport(
+            worker_id=worker_id,
+            load=load,
+            training_top_s=report.training_top_s,
+            inference_top_s=report.inference_top_s,
+            p99_latency_us=report.p99_latency_us,
+            iteration_s=iteration_s,
+        )
+
+    def train(
+        self,
+        loads: Sequence[float],
+        batches: int = 8,
+        seed: int = 0,
+        local_steps: int = 1,
+    ) -> FleetReport:
+        """Measure every worker at its load and compose the rounds.
+
+        Args:
+            loads: Per-worker inference load (length must equal the
+                fleet size).
+            batches: Measurement batches per worker simulation.
+            seed: Base arrival seed (workers are decorrelated).
+            local_steps: Iterations each worker accumulates gradients
+                locally before a synchronization round — the standard
+                lever against a communication-bound parameter server.
+        """
+        if len(loads) != self.size:
+            raise ValueError(
+                f"need {self.size} loads, got {len(loads)}"
+            )
+        if local_steps < 1:
+            raise ValueError("local_steps must be positive")
+        workers = [
+            self._measure_worker(i, load, batches, seed)
+            for i, load in enumerate(loads)
+        ]
+        sync = self.server.round(
+            [w.iteration_s * local_steps for w in workers],
+            self.model.weight_count,
+        )
+        samples_per_round = self.size * self.training_batch * local_steps
+        samples_per_s = (
+            samples_per_round / sync.total_s if sync.total_s > 0 else 0.0
+        )
+        fleet_ops_per_round = (
+            self.size * self.plan.ops_per_iteration * local_steps
+        )
+        fleet_top_s = fleet_ops_per_round / sync.total_s / 1e12
+        return FleetReport(
+            workers=workers,
+            round=sync,
+            samples_per_s=samples_per_s,
+            fleet_training_top_s=fleet_top_s,
+            dedicated_top_s=self.plan.dedicated_throughput_top_s(),
+        )

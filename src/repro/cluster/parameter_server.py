@@ -1,0 +1,87 @@
+"""Parameter server for synchronous data-parallel training."""
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SyncRound:
+    """Timing of one synchronous round.
+
+    Attributes:
+        compute_s: The barrier: the slowest worker's iteration time.
+        gather_s: Gradient upload (all workers, shared ingress).
+        update_s: Server-side aggregation and optimizer step.
+        broadcast_s: Fresh-model download to every worker.
+    """
+
+    compute_s: float
+    gather_s: float
+    update_s: float
+    broadcast_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.gather_s + self.update_s + self.broadcast_s
+
+    @property
+    def communication_fraction(self) -> float:
+        comm = self.gather_s + self.update_s + self.broadcast_s
+        return comm / self.total_s if self.total_s > 0 else 0.0
+
+
+class ParameterServer:
+    """A bandwidth/latency model of the parameter server.
+
+    Gradients arrive over a shared ingress link; the server applies the
+    update at a fixed rate per weight and broadcasts the fresh model
+    over a shared egress link (workers download concurrently up to the
+    egress bandwidth).
+
+    Attributes:
+        network_bytes_per_s: Ingress/egress bandwidth (e.g. 100 Gb/s).
+        update_ops_per_s: Server-side update throughput in weights/s.
+        gradient_bytes_per_weight: Wire format of a gradient (2 for
+            bfloat16 aggregation).
+        model_bytes_per_weight: Wire format of the broadcast model.
+    """
+
+    def __init__(
+        self,
+        network_bytes_per_s: float = 12.5e9,  # 100 Gb/s
+        update_ops_per_s: float = 5e10,
+        gradient_bytes_per_weight: float = 2.0,
+        model_bytes_per_weight: float = 2.0,
+    ):
+        if network_bytes_per_s <= 0 or update_ops_per_s <= 0:
+            raise ValueError("bandwidths must be positive")
+        self.network_bytes_per_s = network_bytes_per_s
+        self.update_ops_per_s = update_ops_per_s
+        self.gradient_bytes_per_weight = gradient_bytes_per_weight
+        self.model_bytes_per_weight = model_bytes_per_weight
+
+    def round(
+        self, worker_iteration_s: Sequence[float], model_weights: int
+    ) -> SyncRound:
+        """Compose one synchronous round from per-worker iteration
+        times and the model size."""
+        if not worker_iteration_s:
+            raise ValueError("need at least one worker")
+        if model_weights < 1:
+            raise ValueError("model must have weights")
+        workers = len(worker_iteration_s)
+        gather = (
+            workers * model_weights * self.gradient_bytes_per_weight
+            / self.network_bytes_per_s
+        )
+        update = model_weights * workers / self.update_ops_per_s
+        broadcast = (
+            workers * model_weights * self.model_bytes_per_weight
+            / self.network_bytes_per_s
+        )
+        return SyncRound(
+            compute_s=max(worker_iteration_s),
+            gather_s=gather,
+            update_s=update,
+            broadcast_s=broadcast,
+        )

@@ -1,0 +1,56 @@
+"""Equinox core: the front-end that piggybacks training on inference.
+
+This package implements the paper's §3 mechanisms:
+
+* per-service hardware contexts (request queue + instruction counter +
+  exclusive buffer space) so inference and training services co-reside
+  (:mod:`repro.core.contexts`);
+* static and adaptive batch formation with the installation-time
+  timeout threshold (:mod:`repro.core.batching`, Figure 11);
+* the instruction-controller scheduling policies — hardware priority
+  with the inference-queue spike guard, fair share, inference-only, and
+  a software scheduler model (:mod:`repro.core.scheduler`, Figure 10);
+* the request and instruction dispatchers driving the datapath models
+  (:mod:`repro.core.dispatcher`);
+* the :class:`~repro.core.equinox.EquinoxAccelerator` facade that wires
+  everything to a simulator and runs load experiments.
+"""
+
+from repro.core.requests import InferenceRequest, Batch, TrainingIterationRecord
+from repro.core.batching import (
+    BatchingPolicy,
+    StaticBatching,
+    AdaptiveBatching,
+)
+from repro.core.scheduler import (
+    SchedulingPolicy,
+    PriorityScheduler,
+    FairScheduler,
+    InferenceOnlyScheduler,
+    SoftwareScheduler,
+    make_scheduler,
+)
+from repro.core.contexts import ServiceContext
+from repro.core.dispatcher import RequestDispatcher, InferenceEngine, TrainingEngine
+from repro.core.equinox import EquinoxAccelerator, SimulationReport
+
+__all__ = [
+    "InferenceRequest",
+    "Batch",
+    "TrainingIterationRecord",
+    "BatchingPolicy",
+    "StaticBatching",
+    "AdaptiveBatching",
+    "SchedulingPolicy",
+    "PriorityScheduler",
+    "FairScheduler",
+    "InferenceOnlyScheduler",
+    "SoftwareScheduler",
+    "make_scheduler",
+    "ServiceContext",
+    "RequestDispatcher",
+    "InferenceEngine",
+    "TrainingEngine",
+    "EquinoxAccelerator",
+    "SimulationReport",
+]

@@ -1,0 +1,490 @@
+"""Request and instruction dispatchers (paper Figure 5).
+
+:class:`RequestDispatcher` implements the top half of the front-end:
+the inference request queue, the batch formation buffer with its
+batching policy, and the queue-size signal the spike guard consumes.
+
+:class:`InferenceEngine` and :class:`TrainingEngine` together implement
+the instruction dispatcher: they walk compiled programs step by step,
+handing MMU jobs to the arbiter's per-context queues and SIMD/DRAM work
+to those units. Training's operand streams pass through the staging
+slice of on-chip SRAM, whose small size (< 2 % of capacity, paper §2.2)
+bounds how far the DRAM prefetch can run ahead of the MMU; the
+instruction-granular round-robin of the hardware scheduler is what
+keeps that stream flowing even while an inference batch executes.
+"""
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.core.batching import BatchingPolicy
+from repro.core.requests import Batch, InferenceRequest, TrainingIterationRecord
+from repro.core.scheduler import SchedulingPolicy
+from repro.hw.config import AcceleratorConfig
+from repro.hw.dram import HBMInterface, PRIORITY_TRAINING
+from repro.hw.isa import Program
+from repro.hw.mmu import MatrixMultiplyUnit
+from repro.hw.simd import SIMDUnit
+from repro.sim.engine import Event, Simulator
+from repro.sim.stats import LatencyStats
+
+#: SIMD-unit queue priorities (the vector unit is far from saturated,
+#: so a simple two-level priority suffices there).
+SIMD_INFERENCE_PRIORITY = 0
+SIMD_TRAINING_PRIORITY = 1
+
+
+class RequestDispatcher:
+    """Request queue + batch formation buffer for the inference service."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        policy: BatchingPolicy,
+        on_batch: Callable[[Batch], None],
+    ):
+        self.sim = sim
+        self.policy = policy
+        self.on_batch = on_batch
+        self._buffer: Deque[InferenceRequest] = deque()
+        self._deadline_event: Optional[Event] = None
+        self._next_batch_id = 0
+        self._next_request_id = 0
+        self.batches_formed = 0
+        self.incomplete_batches = 0
+        self.requests_submitted = 0
+        #: Fires whenever the formation buffer shrinks (spike subsides).
+        self.on_queue_decrease: Optional[Callable[[], None]] = None
+
+    @property
+    def queue_size(self) -> int:
+        """Requests waiting in the formation buffer — the signal the
+        instruction controller's spike guard monitors."""
+        return len(self._buffer)
+
+    def submit(self) -> InferenceRequest:
+        """A client request arrives now."""
+        request = InferenceRequest(
+            request_id=self._next_request_id, arrival_cycle=self.sim.now
+        )
+        self._next_request_id += 1
+        self.requests_submitted += 1
+        self._buffer.append(request)
+        self._evaluate()
+        return request
+
+    def _evaluate(self) -> None:
+        while self._buffer:
+            oldest_wait = self.sim.now - self._buffer[0].arrival_cycle
+            if not self.policy.should_issue(len(self._buffer), oldest_wait):
+                break
+            self._form()
+        self._arm_deadline()
+
+    def _form(self) -> None:
+        slots = self.policy.batch_slots
+        taken: List[InferenceRequest] = []
+        while self._buffer and len(taken) < slots:
+            taken.append(self._buffer.popleft())
+        batch = Batch(
+            batch_id=self._next_batch_id,
+            requests=taken,
+            slots=slots,
+            formed_cycle=self.sim.now,
+        )
+        self._next_batch_id += 1
+        self.batches_formed += 1
+        if batch.is_padded:
+            self.incomplete_batches += 1
+        for request in taken:
+            request.batched_cycle = self.sim.now
+        if self._deadline_event is not None:
+            self._deadline_event.cancel()
+            self._deadline_event = None
+        self.on_batch(batch)
+        if self.on_queue_decrease is not None:
+            self.on_queue_decrease()
+
+    def _arm_deadline(self) -> None:
+        if self._deadline_event is not None:
+            self._deadline_event.cancel()
+            self._deadline_event = None
+        if not self._buffer:
+            return
+        deadline = self.policy.deadline_cycles(self._buffer[0].arrival_cycle)
+        if deadline is None:
+            return
+        self._deadline_event = self.sim.at(
+            max(deadline, self.sim.now), self._on_deadline
+        )
+
+    def _on_deadline(self) -> None:
+        self._deadline_event = None
+        if self._buffer:
+            self._form()
+        self._arm_deadline()
+
+    def flush(self) -> None:
+        """Force out whatever is buffered (end-of-run drain)."""
+        while self._buffer:
+            self._form()
+
+
+class InferenceEngine:
+    """Walks inference batch programs through the datapath models."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: AcceleratorConfig,
+        mmu: MatrixMultiplyUnit,
+        simd: SIMDUnit,
+        program: Program,
+        scheduler: SchedulingPolicy,
+        max_inflight: int = 2,
+    ):
+        if max_inflight < 1:
+            raise ValueError("need at least one batch in flight")
+        self.sim = sim
+        self.config = config
+        self.mmu = mmu
+        self.simd = simd
+        self.program = program
+        self.scheduler = scheduler
+        self.max_inflight = max_inflight
+        self._queue: Deque[Batch] = deque()
+        self._inflight = 0
+        self.latency = LatencyStats()
+        self.batches_completed = 0
+        self.requests_completed = 0
+        #: Fires after each batch completes (spike-guard re-evaluation).
+        self.on_batch_complete: Optional[Callable[[], None]] = None
+
+    @property
+    def pending_batches(self) -> int:
+        return len(self._queue)
+
+    @property
+    def backlog_requests(self) -> int:
+        """Real requests batched but not yet started."""
+        return sum(batch.real_count for batch in self._queue)
+
+    def enqueue(self, batch: Batch) -> None:
+        self.scheduler.note_inference_activity(self.sim.now)
+        self._queue.append(batch)
+        self._try_start()
+
+    def _try_start(self) -> None:
+        while self._inflight < self.max_inflight and self._queue:
+            batch = self._queue.popleft()
+            self._inflight += 1
+            self._run_step(batch, 0)
+
+    def _run_step(self, batch: Batch, step_index: int) -> None:
+        if step_index >= len(self.program.steps):
+            self._finish(batch)
+            return
+        step = self.program.steps[step_index]
+        jobs = step.mmu_jobs
+        if not jobs:
+            self._after_mmu(batch, step_index)
+            return
+        remaining = [len(jobs)]
+
+        def _job_done() -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                self._after_mmu(batch, step_index)
+
+        for job in jobs:
+            self.mmu.issue(
+                job,
+                real_rows=min(batch.real_count, job.rows),
+                context="inference",
+                on_done=_job_done,
+            )
+
+    def _after_mmu(self, batch: Batch, step_index: int) -> None:
+        step = self.program.steps[step_index]
+        self.simd.issue(
+            step.simd,
+            context="inference",
+            on_done=lambda: self._run_step(batch, step_index + 1),
+            priority=SIMD_INFERENCE_PRIORITY,
+        )
+
+    def _finish(self, batch: Batch) -> None:
+        batch.complete(self.sim.now)
+        self.batches_completed += 1
+        self.requests_completed += batch.real_count
+        for request in batch.requests:
+            self.latency.record(request.latency_cycles)
+        self._inflight -= 1
+        self.scheduler.note_inference_activity(self.sim.now)
+        if self.on_batch_complete is not None:
+            self.on_batch_complete()
+        self._try_start()
+
+
+class TrainingEngine:
+    """Streams endless training iterations into idle issue slots.
+
+    The engine pipelines each step's jobs through a prefetch stage: a
+    job's operand stream (master weights and stashed activations) must
+    land in the staging slice of on-chip SRAM before the job enters the
+    MMU's training queue. Staging bytes are recycled when a job starts
+    issuing (weight-stationary arrays consume their tiles at issue), so
+    the DRAM stream of job *i+1* overlaps the compute of job *i* as far
+    as the staging capacity permits. The arbiter decides when training
+    jobs actually get issue slots.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: AcceleratorConfig,
+        mmu: MatrixMultiplyUnit,
+        simd: SIMDUnit,
+        hbm: HBMInterface,
+        program: Program,
+        scheduler: SchedulingPolicy,
+        inference_queue_size: Callable[[], int],
+    ):
+        self.sim = sim
+        self.config = config
+        self.mmu = mmu
+        self.simd = simd
+        self.hbm = hbm
+        self.program = program
+        self.scheduler = scheduler
+        self.inference_queue_size = inference_queue_size
+        self.iterations: List[TrainingIterationRecord] = []
+        self.jobs_issued = 0
+        self._started = False
+        # Pipeline state.
+        self._exec_step = 0  # step whose jobs may enter the MMU queue
+        self._exec_jobs_done = 0
+        self._prefetch_cursor: Tuple[int, int] = (0, 0)  # (step, job)
+        self._staged: Deque[Tuple[int, int]] = deque()
+        self._staged_bytes = 0.0
+        self._inflight_prefetch_bytes = 0.0
+        self._prefetch_outstanding = 0
+        self._iteration_start = 0.0
+        self._committed_step = -1  # software-scheduling block commitment
+
+    # ------------------------------------------------------------------
+    # Public controls
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Install the training service: there is always a backlog of
+        training requests (paper §5), so the engine runs until the
+        simulation ends."""
+        if not self.scheduler.allows_training:
+            return
+        if self._started:
+            raise RuntimeError("training engine already started")
+        self._started = True
+        self._iteration_start = self.sim.now
+        self._maybe_prefetch()
+
+    def poke(self) -> None:
+        """Re-evaluate pending work (called when the inference queue
+        shrinks or a batch completes — the spike may have subsided)."""
+        if self._started:
+            self._maybe_issue()
+            self.mmu.pump()
+
+    @property
+    def iterations_completed(self) -> int:
+        return len(self.iterations)
+
+    # ------------------------------------------------------------------
+    # Per-job stream sizing
+    # ------------------------------------------------------------------
+
+    def _step_stream_bytes(self, step_index: int) -> float:
+        """Bytes that must be staged ahead of this step's jobs: the
+        weight stream plus any stashed-operand reloads."""
+        step = self.program.steps[step_index]
+        stash_in = sum(r.bytes for r in step.dram if r.kind == "stash_in")
+        return step.weight_bytes + stash_in
+
+    def _job_stream_bytes(self, step_index: int, job_index: int) -> float:
+        step = self.program.steps[step_index]
+        if not step.mmu_jobs:
+            return 0.0
+        return self._step_stream_bytes(step_index) / len(step.mmu_jobs)
+
+    # ------------------------------------------------------------------
+    # Prefetch stage
+    # ------------------------------------------------------------------
+
+    def _advance_cursor(self) -> Optional[Tuple[int, int]]:
+        """Skip over empty steps to the next prefetchable job."""
+        step_idx, job_idx = self._prefetch_cursor
+        while step_idx < len(self.program.steps):
+            jobs = self.program.steps[step_idx].mmu_jobs
+            if job_idx < len(jobs):
+                return step_idx, job_idx
+            step_idx += 1
+            job_idx = 0
+        return None
+
+    def _maybe_prefetch(self) -> None:
+        position = self._advance_cursor()
+        if position is None:
+            return
+        step_idx, job_idx = position
+        stream = self._job_stream_bytes(step_idx, job_idx)
+        outstanding = self._staged_bytes + self._inflight_prefetch_bytes
+        # Always allow one stream in flight even if it alone exceeds the
+        # staging slice (it passes through); otherwise respect capacity.
+        if (
+            self._prefetch_outstanding > 0
+            and outstanding + stream > self.config.staging_bytes
+        ):
+            return
+        self._prefetch_cursor = (step_idx, job_idx + 1)
+        self._prefetch_outstanding += 1
+        self._inflight_prefetch_bytes += stream
+
+        def _staged() -> None:
+            self._inflight_prefetch_bytes -= stream
+            self._staged_bytes += stream
+            self._staged.append((step_idx, job_idx))
+            self._maybe_issue()
+            self._maybe_prefetch()
+
+        if stream <= 0:
+            self.sim.after(0.0, _staged)
+        else:
+            self.hbm.transfer(
+                stream, kind="train_stream", on_done=_staged,
+                priority=PRIORITY_TRAINING,
+            )
+
+    # ------------------------------------------------------------------
+    # Issue stage
+    # ------------------------------------------------------------------
+
+    def _maybe_issue(self) -> None:
+        while self._staged:
+            step_idx, job_idx = self._staged[0]
+            if step_idx != self._exec_step:
+                break  # staged job belongs to a future step
+            if self.scheduler.training_blocks_preemption():
+                # Software scheduling: commit whole steps; once the
+                # first job of a step is dispatched the block cannot be
+                # revoked, but a new block needs the quiet-queue gate.
+                committed = self._committed_step == step_idx
+                if not committed and not self.scheduler.can_commit_training_block(
+                    self.inference_queue_size(), self.sim.now
+                ):
+                    break
+                self._committed_step = step_idx
+            self._staged.popleft()
+            self._issue_job(step_idx, job_idx)
+
+    def _issue_job(self, step_idx: int, job_idx: int) -> None:
+        step = self.program.steps[step_idx]
+        job = step.mmu_jobs[job_idx]
+        stream = self._job_stream_bytes(step_idx, job_idx)
+        # Software-committed blocks enter the inference FIFO (they are
+        # not revocable); hardware policies use the training queue.
+        queue = (
+            "inference"
+            if self.scheduler.training_blocks_preemption()
+            else "training"
+        )
+
+        def _issued() -> None:
+            # The arrays consume the staged tiles as the job starts;
+            # the staging slice is free for the next stream.
+            self._staged_bytes -= stream
+            self._prefetch_outstanding -= 1
+            self._maybe_prefetch()
+
+        def _done() -> None:
+            self._exec_jobs_done += 1
+            if self._exec_jobs_done == len(step.mmu_jobs):
+                self._finish_step(step_idx)
+
+        self.jobs_issued += 1
+        self.mmu.issue(
+            job,
+            real_rows=job.rows,
+            context="training",
+            on_issue=_issued,
+            on_done=_done,
+            queue=queue,
+        )
+
+    def _finish_step(self, step_idx: int) -> None:
+        step = self.program.steps[step_idx]
+        # Fire-and-forget write-backs (stashes, gradients).
+        for request in step.dram:
+            if request.kind in ("stash_out", "grad_out"):
+                self.hbm.transfer(
+                    request.bytes, kind=request.kind,
+                    priority=PRIORITY_TRAINING,
+                )
+
+        def _after_simd() -> None:
+            self._next_step(step_idx)
+
+        self.simd.issue(
+            step.simd, context="training", on_done=_after_simd,
+            priority=SIMD_TRAINING_PRIORITY,
+        )
+
+    def _next_step(self, step_idx: int) -> None:
+        next_idx = step_idx + 1
+        # Steps with no MMU jobs are pure DRAM phases (parameter-server
+        # sync); serialize their transfers on the chain.
+        while next_idx < len(self.program.steps):
+            step = self.program.steps[next_idx]
+            if step.mmu_jobs:
+                break
+            sync_bytes = step.dram_bytes
+            if sync_bytes > 0:
+                captured = next_idx
+
+                def _sync_done() -> None:
+                    self._next_step(captured)
+
+                self.hbm.transfer(
+                    sync_bytes, kind="param_sync", on_done=_sync_done,
+                    priority=PRIORITY_TRAINING,
+                )
+                return
+            next_idx += 1
+
+        if next_idx >= len(self.program.steps):
+            self._finish_iteration()
+            return
+        self._exec_step = next_idx
+        self._exec_jobs_done = 0
+        self._maybe_issue()
+        self._maybe_prefetch()
+
+    def _finish_iteration(self) -> None:
+        record = TrainingIterationRecord(
+            iteration_id=len(self.iterations),
+            start_cycle=self._iteration_start,
+            completion_cycle=self.sim.now,
+            useful_ops=self.program.total_useful_ops,
+        )
+        self.iterations.append(record)
+        # Start the next iteration immediately: training requests are
+        # always available (paper §5).
+        self._iteration_start = self.sim.now
+        self._exec_step = 0
+        self._exec_jobs_done = 0
+        self._prefetch_cursor = (0, 0)
+        self._staged.clear()
+        self._staged_bytes = 0.0
+        self._inflight_prefetch_bytes = 0.0
+        self._prefetch_outstanding = 0
+        self._committed_step = -1
+        self._maybe_prefetch()

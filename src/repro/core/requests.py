@@ -1,0 +1,79 @@
+"""Request and batch records flowing through the front-end."""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class InferenceRequest:
+    """One client inference request.
+
+    Cycle timestamps are stamped as the request moves through the
+    front-end; latency is completion − arrival, the quantity whose 99th
+    percentile the paper's service-level objective constrains.
+    """
+
+    request_id: int
+    arrival_cycle: float
+    batched_cycle: Optional[float] = None
+    completion_cycle: Optional[float] = None
+
+    @property
+    def latency_cycles(self) -> float:
+        if self.completion_cycle is None:
+            raise ValueError(f"request {self.request_id} not yet complete")
+        return self.completion_cycle - self.arrival_cycle
+
+    @property
+    def formation_wait_cycles(self) -> float:
+        if self.batched_cycle is None:
+            raise ValueError(f"request {self.request_id} not yet batched")
+        return self.batched_cycle - self.arrival_cycle
+
+
+@dataclass
+class Batch:
+    """A formed inference batch: real requests padded with dummies.
+
+    The request dispatcher pads incomplete batches with dummy requests
+    whose results are disposed (paper §3.1); their cycles show up in
+    Figure 8's "dummy" category.
+    """
+
+    batch_id: int
+    requests: List[InferenceRequest] = field(default_factory=list)
+    slots: int = 0
+    formed_cycle: float = 0.0
+    completion_cycle: Optional[float] = None
+
+    @property
+    def real_count(self) -> int:
+        return len(self.requests)
+
+    @property
+    def dummy_count(self) -> int:
+        return self.slots - self.real_count
+
+    @property
+    def is_padded(self) -> bool:
+        return self.dummy_count > 0
+
+    def complete(self, cycle: float) -> None:
+        """Stamp the batch and all its requests complete at ``cycle``."""
+        self.completion_cycle = cycle
+        for request in self.requests:
+            request.completion_cycle = cycle
+
+
+@dataclass
+class TrainingIterationRecord:
+    """Bookkeeping for one completed training iteration."""
+
+    iteration_id: int
+    start_cycle: float
+    completion_cycle: float
+    useful_ops: float
+
+    @property
+    def duration_cycles(self) -> float:
+        return self.completion_cycle - self.start_cycle

@@ -1,0 +1,236 @@
+"""Instruction-controller scheduling policies (paper §3.2, Figure 10).
+
+The instruction controller schedules instructions from the inference
+and training contexts at instruction granularity. Equinox's hardware
+*priority* scheduler round-robins the two services only while inference
+queueing is low: it compares the inference queue size against a maximum
+threshold defined at installation time and, during load spikes, stops
+servicing training requests entirely until the spike subsides.
+
+The *fair* scheduler round-robins regardless of queue depth (the
+comparison point of Figure 10), *inference-only* disables training
+(the baseline), and the *software* scheduler models a host-side control
+plane that can only dispatch training at batch granularity with a long
+decision turnaround — which, as §6 reports, ends up unable to schedule
+training without violating the latency target.
+
+Policies are consulted by the MMU arbiter at every grant through
+:meth:`SchedulingPolicy.select_queue`.
+"""
+
+from typing import Optional
+
+INFERENCE = "inference"
+TRAINING = "training"
+
+
+def _alternate(last: str) -> str:
+    return TRAINING if last == INFERENCE else INFERENCE
+
+
+class SchedulingPolicy:
+    """Grant-time arbitration between the two service contexts."""
+
+    #: Whether a training service can make progress at all.
+    allows_training: bool = True
+
+    def select_queue(
+        self,
+        inference_ready: bool,
+        training_ready: bool,
+        inference_backlog: int,
+        last_granted: str,
+    ) -> Optional[str]:
+        """Which queue gets the next issue slot (None = hold idle)."""
+        raise NotImplementedError
+
+    def can_commit_training_block(
+        self, inference_backlog: int, now: float
+    ) -> bool:
+        """Pre-issue gate used only by block-granular (software)
+        scheduling; hardware policies decide at grant time instead."""
+        return True
+
+    def training_blocks_preemption(self) -> bool:
+        """Whether training issues in non-preemptable blocks placed in
+        the inference queue (software scheduling's batch granularity)."""
+        return False
+
+    def note_inference_activity(self, now: float) -> None:
+        """Hook: policies tracking inference activity override this."""
+
+
+class PriorityScheduler(SchedulingPolicy):
+    """Equinox's hardware scheduler with the queue-spike guard.
+
+    Round-robin between the services while the inference queue is below
+    the threshold; inference-only when it spikes above. A training-only
+    grant is also withheld during a spike — the controller dedicates
+    every execution resource to the inference requests about to issue.
+
+    Attributes:
+        queue_threshold: Inference request-queue size above which
+            training is paused (installation-time constant).
+    """
+
+    def __init__(self, queue_threshold: int):
+        if queue_threshold < 1:
+            raise ValueError("queue threshold must be positive")
+        self.queue_threshold = queue_threshold
+
+    def select_queue(
+        self,
+        inference_ready: bool,
+        training_ready: bool,
+        inference_backlog: int,
+        last_granted: str,
+    ) -> Optional[str]:
+        spike = inference_backlog > self.queue_threshold
+        if inference_ready and training_ready:
+            if spike:
+                return INFERENCE
+            return _alternate(last_granted)
+        if inference_ready:
+            return INFERENCE
+        if training_ready and not spike:
+            return TRAINING
+        return None
+
+    def __repr__(self) -> str:
+        return f"PriorityScheduler(queue_threshold={self.queue_threshold})"
+
+
+class FairScheduler(SchedulingPolicy):
+    """Round-robin between services regardless of inference queueing.
+
+    Equal division of execution resources — the behaviour Figure 10
+    shows costs ~1.3× inference throughput under the latency target,
+    because training keeps taking issue slots during load spikes.
+    """
+
+    def select_queue(
+        self,
+        inference_ready: bool,
+        training_ready: bool,
+        inference_backlog: int,
+        last_granted: str,
+    ) -> Optional[str]:
+        if inference_ready and training_ready:
+            return _alternate(last_granted)
+        if inference_ready:
+            return INFERENCE
+        if training_ready:
+            return TRAINING
+        return None
+
+    def __repr__(self) -> str:
+        return "FairScheduler()"
+
+
+class InferenceOnlyScheduler(SchedulingPolicy):
+    """The baseline: no training service installed."""
+
+    allows_training = False
+
+    def select_queue(
+        self,
+        inference_ready: bool,
+        training_ready: bool,
+        inference_backlog: int,
+        last_granted: str,
+    ) -> Optional[str]:
+        return INFERENCE if inference_ready else None
+
+    def __repr__(self) -> str:
+        return "InferenceOnlyScheduler()"
+
+
+class SoftwareScheduler(SchedulingPolicy):
+    """A host-software control plane (paper §6, "Scheduling").
+
+    Software observes queue state with a decision turnaround measured
+    in microseconds (PCIe round trip + driver), and can only dispatch
+    training at batch granularity — once issued, a training block is
+    not preemptable, so its jobs are placed in the inference FIFO. To
+    avoid violating the inference latency target it must be
+    conservative: it only commits a block when the inference queue has
+    been empty for a full decision interval.
+
+    Attributes:
+        decision_latency_cycles: Scheduling turnaround in cycles.
+        conservative: When True (the deployable setting), require an
+            empty queue plus a quiet interval; when False, commit
+            greedily and let the experiment show the latency
+            violations.
+    """
+
+    def __init__(self, decision_latency_cycles: float, conservative: bool = True):
+        if decision_latency_cycles <= 0:
+            raise ValueError("decision latency must be positive")
+        self.decision_latency_cycles = decision_latency_cycles
+        self.conservative = conservative
+        self._last_inference_activity = 0.0
+
+    def note_inference_activity(self, now: float) -> None:
+        self._last_inference_activity = now
+
+    def can_commit_training_block(
+        self, inference_backlog: int, now: float
+    ) -> bool:
+        if inference_backlog > 0:
+            return False
+        if not self.conservative:
+            return True
+        quiet = now - self._last_inference_activity
+        return quiet >= self.decision_latency_cycles
+
+    def select_queue(
+        self,
+        inference_ready: bool,
+        training_ready: bool,
+        inference_backlog: int,
+        last_granted: str,
+    ) -> Optional[str]:
+        # Committed blocks live in the inference FIFO, so grant order is
+        # plain FIFO there; the training queue stays unused.
+        if inference_ready:
+            return INFERENCE
+        if training_ready:
+            return TRAINING
+        return None
+
+    def training_blocks_preemption(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"SoftwareScheduler(decision_latency_cycles="
+            f"{self.decision_latency_cycles:.0f}, "
+            f"conservative={self.conservative})"
+        )
+
+
+def make_scheduler(
+    kind: str,
+    queue_threshold: int = 1,
+    decision_latency_cycles: float = 1.0,
+    conservative: bool = True,
+) -> SchedulingPolicy:
+    """Factory used by the accelerator facade.
+
+    Args:
+        kind: ``"priority"``, ``"fair"``, ``"inference_only"`` or
+            ``"software"``.
+        queue_threshold: Spike guard for the priority scheduler.
+        decision_latency_cycles: Turnaround for the software scheduler.
+        conservative: Software scheduler safety mode.
+    """
+    if kind == "priority":
+        return PriorityScheduler(queue_threshold)
+    if kind == "fair":
+        return FairScheduler()
+    if kind == "inference_only":
+        return InferenceOnlyScheduler()
+    if kind == "software":
+        return SoftwareScheduler(decision_latency_cycles, conservative)
+    raise ValueError(f"unknown scheduling policy {kind!r}")

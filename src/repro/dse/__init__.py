@@ -1,0 +1,44 @@
+"""Analytical design-space exploration (paper §4).
+
+First-order area (Eq. 1), power (Eq. 2) and performance (Eq. 3) models
+over the accelerator dimensions (n, m, w) and clock frequency, under
+the 300 mm² die and 75 W package envelopes. The explorer sweeps the
+space, extracts the Pareto frontier of throughput against latency
+(Figure 6), and selects the four named configurations of Table 1
+(Equinox_min / Equinox_50µs / Equinox_500µs / Equinox_none) that the
+cycle-level evaluation uses.
+"""
+
+from repro.dse.tech import TechnologyModel, TSMC28
+from repro.dse.area import accelerator_area_mm2, AreaBreakdown
+from repro.dse.power import accelerator_power_w, PowerBreakdown
+from repro.dse.performance import (
+    peak_throughput_top_s,
+    service_time_cycles,
+    service_time_us,
+)
+from repro.dse.explorer import DesignPoint, DesignSpaceExplorer
+from repro.dse.pareto import pareto_frontier
+from repro.dse.table1 import (
+    pareto_table,
+    equinox_configuration,
+    EQUINOX_LATENCY_CLASSES,
+)
+
+__all__ = [
+    "TechnologyModel",
+    "TSMC28",
+    "accelerator_area_mm2",
+    "AreaBreakdown",
+    "accelerator_power_w",
+    "PowerBreakdown",
+    "peak_throughput_top_s",
+    "service_time_cycles",
+    "service_time_us",
+    "DesignPoint",
+    "DesignSpaceExplorer",
+    "pareto_frontier",
+    "pareto_table",
+    "equinox_configuration",
+    "EQUINOX_LATENCY_CLASSES",
+]

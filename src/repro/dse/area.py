@@ -1,0 +1,52 @@
+"""Area model (paper Eq. 1).
+
+    A = m·n²·w·a_alu + A_sram + A_dram
+
+Candidate designs exceeding the 300 mm² die are eliminated from the
+sweep.
+"""
+
+from dataclasses import dataclass
+
+from repro.dse.tech import TechnologyModel, TSMC28
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-component area of one design point, in mm²."""
+
+    alu_mm2: float
+    sram_mm2: float
+    dram_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.alu_mm2 + self.sram_mm2 + self.dram_mm2
+
+
+def alu_area_mm2(
+    n: int, m: int, w: int, encoding: str, tech: TechnologyModel = TSMC28
+) -> float:
+    """Aggregate MMU ALU area: m·n²·w ALUs at the encoding's density."""
+    if min(n, m, w) < 1:
+        raise ValueError("array dimensions must be positive")
+    alus = m * n * n * w
+    return alus * tech.encoding_costs(encoding).alu_area_um2 / 1e6
+
+
+def accelerator_area_mm2(
+    n: int, m: int, w: int, encoding: str, tech: TechnologyModel = TSMC28
+) -> AreaBreakdown:
+    """Evaluate Eq. 1 for one design point."""
+    return AreaBreakdown(
+        alu_mm2=alu_area_mm2(n, m, w, encoding, tech),
+        sram_mm2=tech.sram_area_mm2,
+        dram_mm2=tech.dram_area_mm2,
+    )
+
+
+def fits_die(
+    n: int, m: int, w: int, encoding: str, tech: TechnologyModel = TSMC28
+) -> bool:
+    """Whether the design is within the die-area envelope."""
+    return accelerator_area_mm2(n, m, w, encoding, tech).total_mm2 <= tech.die_area_mm2

@@ -1,0 +1,170 @@
+"""Design-space sweep (paper §4.1).
+
+"We sweep the design space by varying n and the design frequency. For a
+given n and frequency, we find the largest values of m and w that are
+still below the area and power envelopes." The explorer does exactly
+that: for each (n, f) it scans w, solves the largest feasible m in
+closed form, and keeps the best-performing (m, w) pair; the resulting
+point cloud is what Figure 6 plots and the Pareto frontier summarizes.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dse.area import accelerator_area_mm2
+from repro.dse.performance import (
+    lstm_step_utilization,
+    peak_throughput_top_s,
+    service_time_cycles,
+)
+from repro.dse.power import accelerator_power_w
+from repro.dse.tech import FREQUENCY_GRID_HZ, TechnologyModel, TSMC28
+from repro.hw.config import AcceleratorConfig
+
+#: PE-width grid: dense at the small widths where the interesting
+#: latency/throughput trades live, sparse above.
+DEFAULT_W_GRID: Tuple[int, ...] = (
+    1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48, 64,
+)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One feasible accelerator design with its modeled metrics."""
+
+    n: int
+    m: int
+    w: int
+    frequency_hz: float
+    encoding: str
+    throughput_top_s: float
+    service_time_us: float
+    area_mm2: float
+    power_w: float
+    bound: str  # "area" or "power" — which envelope limited m
+
+    @property
+    def frequency_mhz(self) -> float:
+        return self.frequency_hz / 1e6
+
+    def to_config(self, name: str, **overrides) -> AcceleratorConfig:
+        """Materialize this point as a simulatable configuration."""
+        return AcceleratorConfig(
+            name=name,
+            n=self.n,
+            m=self.m,
+            w=self.w,
+            frequency_hz=self.frequency_hz,
+            encoding=self.encoding,
+            **overrides,
+        )
+
+
+class DesignSpaceExplorer:
+    """Sweeps (n, f, w) under the area and power envelopes.
+
+    Args:
+        encoding: Datapath encoding to explore.
+        tech: Technology model supplying the unit constants.
+        n_values: Array sides to sweep (default 1..256).
+        frequencies_hz: Clock grid (default the near-threshold ladder).
+        w_values: PE widths to scan per point (default 1..64).
+    """
+
+    def __init__(
+        self,
+        encoding: str = "hbfp8",
+        tech: TechnologyModel = TSMC28,
+        n_values: Optional[Sequence[int]] = None,
+        frequencies_hz: Sequence[float] = FREQUENCY_GRID_HZ,
+        w_values: Optional[Sequence[int]] = None,
+    ):
+        self.encoding = encoding
+        self.tech = tech
+        self.n_values = list(n_values) if n_values is not None else list(range(1, 257))
+        self.frequencies_hz = list(frequencies_hz)
+        self.w_values = list(w_values) if w_values is not None else list(DEFAULT_W_GRID)
+        if min(self.n_values, default=0) < 1 or min(self.w_values, default=0) < 1:
+            raise ValueError("n and w sweeps must be positive")
+
+    # ------------------------------------------------------------------
+    # Feasibility in closed form
+    # ------------------------------------------------------------------
+
+    def _max_m(self, n: int, w: int, frequency_hz: float) -> Tuple[int, str]:
+        """Largest m under both envelopes, and which one binds."""
+        tech = self.tech
+        costs = tech.encoding_costs(self.encoding)
+        a_alu_mm2 = costs.alu_area_um2 / 1e6
+        area_budget = tech.alu_area_budget_mm2()
+        m_area = int(area_budget // (n * n * w * a_alu_mm2))
+
+        e_alu = tech.alu_energy_j(self.encoding, frequency_hz)
+        e_byte = tech.sram_energy_j_per_byte(frequency_hz)
+        ob = costs.operand_bytes
+        p_dyn = tech.dynamic_power_budget_w()
+        # P_dyn >= f·(m·n²·w·e_alu + e_byte·ob·(w·n + m·w·n + m·n))
+        fixed = w * n * e_byte * ob
+        per_m = n * n * w * e_alu + e_byte * ob * n * (w + 1)
+        m_power = int((p_dyn / frequency_hz - fixed) // per_m)
+
+        if m_area <= m_power:
+            return m_area, "area"
+        return m_power, "power"
+
+    def _evaluate(self, n: int, m: int, w: int, frequency_hz: float, bound: str) -> DesignPoint:
+        area = accelerator_area_mm2(n, m, w, self.encoding, self.tech)
+        power = accelerator_power_w(n, m, w, frequency_hz, self.encoding, self.tech)
+        return DesignPoint(
+            n=n,
+            m=m,
+            w=w,
+            frequency_hz=frequency_hz,
+            encoding=self.encoding,
+            throughput_top_s=peak_throughput_top_s(n, m, w, frequency_hz),
+            service_time_us=service_time_cycles(n, m, w) / frequency_hz * 1e6,
+            area_mm2=area.total_mm2,
+            power_w=power.total_w,
+            bound=bound,
+        )
+
+    # ------------------------------------------------------------------
+    # Sweep
+    # ------------------------------------------------------------------
+
+    def points_at(self, n: int, frequency_hz: float) -> List[DesignPoint]:
+        """All feasible (m, w) variants at one (n, f), m maximized per
+        width. Every width stays in the cloud: a shallower (small-w)
+        array trades peak throughput for pipeline latency, and the
+        latency-constrained Table 1 picks need those variants."""
+        points: List[DesignPoint] = []
+        for w in self.w_values:
+            m, bound = self._max_m(n, w, frequency_hz)
+            if m < 1:
+                continue
+            points.append(self._evaluate(n, m, w, frequency_hz, bound))
+        return points
+
+    def best_at(self, n: int, frequency_hz: float) -> Optional[DesignPoint]:
+        """Highest-throughput variant at one (n, f); service time breaks
+        ties toward the shallower array."""
+        candidates = self.points_at(n, frequency_hz)
+        if not candidates:
+            return None
+        return max(
+            candidates,
+            key=lambda p: (p.throughput_top_s, -p.service_time_us),
+        )
+
+    def sweep(self) -> List[DesignPoint]:
+        """All feasible points — Figure 6's cloud."""
+        points: List[DesignPoint] = []
+        for n in self.n_values:
+            for f in self.frequencies_hz:
+                points.extend(self.points_at(n, f))
+        return points
+
+    def utilization_of(self, point: DesignPoint) -> float:
+        """LSTM-probe MAC utilization of a point (diagnostics)."""
+        return lstm_step_utilization(point.n, point.m, point.w)

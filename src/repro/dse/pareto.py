@@ -1,0 +1,41 @@
+"""Pareto-frontier extraction over (throughput ↑, latency ↓).
+
+A design point is Pareto-optimal when no other point offers both higher
+throughput and lower (or equal) service time. Figure 6 highlights these
+points; Table 1 picks named representatives off the frontier.
+"""
+
+from typing import List, Sequence
+
+from repro.dse.explorer import DesignPoint
+
+
+def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated subset, sorted by ascending service time.
+
+    Dominance: point A dominates B when A is at least as good on both
+    axes and strictly better on one.
+    """
+    ordered = sorted(
+        points, key=lambda p: (p.service_time_us, -p.throughput_top_s)
+    )
+    frontier: List[DesignPoint] = []
+    best_throughput = float("-inf")
+    for point in ordered:
+        if point.throughput_top_s > best_throughput:
+            frontier.append(point)
+            best_throughput = point.throughput_top_s
+    return frontier
+
+
+def dominates(a: DesignPoint, b: DesignPoint) -> bool:
+    """Whether ``a`` Pareto-dominates ``b``."""
+    no_worse = (
+        a.throughput_top_s >= b.throughput_top_s
+        and a.service_time_us <= b.service_time_us
+    )
+    better = (
+        a.throughput_top_s > b.throughput_top_s
+        or a.service_time_us < b.service_time_us
+    )
+    return no_worse and better

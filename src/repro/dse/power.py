@@ -1,0 +1,82 @@
+"""Power model (paper Eq. 2).
+
+    P = f · (m·n²·w·e_alu + e_sram·(w·n + m·w·n + m·n)) + P_dram + P_static
+
+The three SRAM access terms are, per cycle: the activation-buffer read
+feeding the broadcast ring (w·n values), the weight-buffer reads feeding
+every array (m·w·n values), and the output write-back (m·n values).
+Unit energies scale with the supply implied by the chosen frequency.
+Candidate designs exceeding the 75 W envelope are eliminated.
+"""
+
+from dataclasses import dataclass
+
+from repro.dse.tech import TechnologyModel, TSMC28
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-component power of one design point, in watts."""
+
+    alu_w: float
+    sram_dynamic_w: float
+    sram_static_w: float
+    dram_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.alu_w + self.sram_dynamic_w + self.sram_static_w + self.dram_w
+
+    @property
+    def data_movement_fraction(self) -> float:
+        """Share of the dynamic budget spent moving data — the quantity
+        whose collapse past the knee frees power for ALUs (§4.2)."""
+        dynamic = self.alu_w + self.sram_dynamic_w
+        if dynamic <= 0:
+            return 0.0
+        return self.sram_dynamic_w / dynamic
+
+
+def sram_bytes_per_cycle(n: int, m: int, w: int, operand_bytes: float) -> float:
+    """Buffer traffic per cycle: activations + weights + outputs."""
+    values = w * n + m * w * n + m * n
+    return values * operand_bytes
+
+
+def accelerator_power_w(
+    n: int,
+    m: int,
+    w: int,
+    frequency_hz: float,
+    encoding: str,
+    tech: TechnologyModel = TSMC28,
+) -> PowerBreakdown:
+    """Evaluate Eq. 2 for one design point."""
+    if min(n, m, w) < 1:
+        raise ValueError("array dimensions must be positive")
+    costs = tech.encoding_costs(encoding)
+    alus = m * n * n * w
+    alu_w = frequency_hz * alus * tech.alu_energy_j(encoding, frequency_hz)
+    traffic = sram_bytes_per_cycle(n, m, w, costs.operand_bytes)
+    sram_w = frequency_hz * traffic * tech.sram_energy_j_per_byte(frequency_hz)
+    return PowerBreakdown(
+        alu_w=alu_w,
+        sram_dynamic_w=sram_w,
+        sram_static_w=tech.sram_static_w,
+        dram_w=tech.dram_power_w,
+    )
+
+
+def fits_power(
+    n: int,
+    m: int,
+    w: int,
+    frequency_hz: float,
+    encoding: str,
+    tech: TechnologyModel = TSMC28,
+) -> bool:
+    """Whether the design is within the package power envelope."""
+    return (
+        accelerator_power_w(n, m, w, frequency_hz, encoding, tech).total_w
+        <= tech.power_budget_w
+    )

@@ -1,0 +1,184 @@
+"""Technology constants for the first-order models (TSMC 28 nm).
+
+The paper derives its constants from Synopsys DC synthesis of MMUs
+(TSMC 28 nm, TCBN28HPMBWP35, 0.9 V), CACTI 6.5 scaled from 32 nm for
+SRAM, an HBM vendor reference for the DRAM interface, and a
+near-threshold voltage/frequency study for the energy-frequency curve.
+Those tools are not redistributable, so this module carries calibrated
+per-unit constants chosen to reproduce the paper's anchor points:
+
+* hbfp8 throughput 60.2 → ~400 TOp/s from n=1 to unconstrained
+  (the e_sram/e_alu ≈ 5.6 ratio that shapes the whole Pareto curve);
+* bfloat16 ALUs ≈ 6× the hbfp8 energy and area (fixed point enjoys
+  "up to an order of magnitude" density advantage over floating
+  point);
+* Table 3's component areas (185.6 mm² MMU, 45.96 mm² weight buffer,
+  46.9 mm² DRAM interface) for the Equinox_500µs shape;
+* the frequency column of Table 1: ALU/buffer energies scale with the
+  square of the scaled supply voltage, so SRAM-power-bound small-n
+  designs settle at 532 MHz while area-bound large-n designs push to
+  ~610 MHz before power crosses.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Frequency grid of the sweep (Hz): 532 MHz near-threshold up to the
+#: 2.4 GHz nominal point, per the near-threshold study the paper cites.
+FREQUENCY_GRID_HZ: Tuple[float, ...] = (
+    532e6, 610e6, 700e6, 800e6, 1000e6, 1200e6, 1600e6, 2000e6, 2400e6,
+)
+
+F_MIN_HZ = FREQUENCY_GRID_HZ[0]
+F_MAX_HZ = FREQUENCY_GRID_HZ[-1]
+V_MIN = 0.52  # near-threshold supply at 532 MHz
+V_NOM = 0.90  # nominal supply at 2.4 GHz
+
+
+@dataclass(frozen=True)
+class EncodingCosts:
+    """Synthesis-derived per-ALU costs for one datapath encoding.
+
+    Attributes:
+        alu_area_um2: Area of one MAC (multiplier + accumulator slice).
+        alu_energy_nominal_j: Energy of one MAC cycle at V_NOM.
+        operand_bytes: Buffer bytes moved per operand.
+    """
+
+    alu_area_um2: float
+    alu_energy_nominal_j: float
+    operand_bytes: float
+
+
+@dataclass(frozen=True)
+class TechnologyModel:
+    """All constants Eqs. 1–3 consume.
+
+    Attributes:
+        die_area_mm2: Area envelope (300 mm², in line with reported DNN
+            accelerator dies).
+        power_budget_w: Package power envelope (75 W).
+        sram_mb: On-chip SRAM capacity (75 MB, §5).
+        sram_area_mm2_per_mb: CACTI-derived density.
+        sram_energy_nominal_j_per_byte: Access energy per byte at V_NOM.
+        sram_static_w_per_mb: Leakage (the only static power modeled;
+            ALU leakage is negligible, §4.1).
+        dram_power_w: HBM interface power reservation (1 TB/s stack).
+        dram_area_mm2: HBM PHY + controller area.
+        simd_lane_area_um2: One bfloat16 SIMD lane (ALU + register-file
+            slice overhead beyond the RF SRAM itself).
+        simd_lane_energy_nominal_j: Per-lane-op energy at V_NOM
+            including its register-file accesses.
+        encodings: Per-encoding ALU costs.
+    """
+
+    die_area_mm2: float = 300.0
+    power_budget_w: float = 75.0
+    sram_mb: float = 75.0
+    sram_area_mm2_per_mb: float = 0.918
+    sram_energy_nominal_j_per_byte: float = 3.6e-12
+    sram_static_w_per_mb: float = 0.06
+    dram_power_w: float = 28.6
+    dram_area_mm2: float = 46.9
+    simd_lane_area_um2: float = 3400.0
+    simd_lane_energy_nominal_j: float = 19.5e-12
+    encodings: Dict[str, EncodingCosts] = field(
+        default_factory=lambda: {
+            "hbfp8": EncodingCosts(
+                alu_area_um2=562.0,
+                alu_energy_nominal_j=0.54e-12,
+                operand_bytes=1.0,
+            ),
+            "bfloat16": EncodingCosts(
+                alu_area_um2=3370.0,
+                alu_energy_nominal_j=3.24e-12,
+                operand_bytes=2.0,
+            ),
+            # The fixed-point-only inference baseline of the synthesis
+            # comparison: the hbfp8 MMU minus exponent handling.
+            "fixed8": EncodingCosts(
+                alu_area_um2=540.0,
+                alu_energy_nominal_j=0.51e-12,
+                operand_bytes=1.0,
+            ),
+        }
+    )
+
+    # ------------------------------------------------------------------
+    # Voltage/frequency scaling
+    # ------------------------------------------------------------------
+
+    def supply_voltage(self, frequency_hz: float) -> float:
+        """Supply required for ``frequency_hz``.
+
+        Near threshold, frequency is superlinear in voltage, so the
+        inverse V(f) curve is steep just above the floor and flattens
+        toward the nominal corner; a sublinear power law captures that
+        first-order shape. The steep low end is what makes
+        SRAM-power-bound designs settle at the 532 MHz floor (Table 1's
+        frequency column): the first frequency step up already costs
+        them more energy per access than it buys in cycle time.
+        """
+        if not F_MIN_HZ <= frequency_hz <= F_MAX_HZ:
+            raise ValueError(
+                f"frequency {frequency_hz / 1e6:.0f} MHz outside the "
+                f"{F_MIN_HZ / 1e6:.0f}-{F_MAX_HZ / 1e6:.0f} MHz corner range"
+            )
+        span = (frequency_hz - F_MIN_HZ) / (F_MAX_HZ - F_MIN_HZ)
+        return V_MIN + span**0.75 * (V_NOM - V_MIN)
+
+    def energy_scale(self, frequency_hz: float) -> float:
+        """Dynamic-energy multiplier vs the nominal corner: (V/V_nom)²."""
+        v = self.supply_voltage(frequency_hz)
+        return (v / V_NOM) ** 2
+
+    # ------------------------------------------------------------------
+    # Frequency-dependent unit energies
+    # ------------------------------------------------------------------
+
+    def encoding_costs(self, encoding: str) -> EncodingCosts:
+        try:
+            return self.encodings[encoding]
+        except KeyError:
+            raise KeyError(
+                f"no synthesis data for encoding {encoding!r}; "
+                f"available: {sorted(self.encodings)}"
+            ) from None
+
+    def alu_energy_j(self, encoding: str, frequency_hz: float) -> float:
+        """Energy of one MAC cycle at the operating point."""
+        return (
+            self.encoding_costs(encoding).alu_energy_nominal_j
+            * self.energy_scale(frequency_hz)
+        )
+
+    def sram_energy_j_per_byte(self, frequency_hz: float) -> float:
+        """Buffer access energy per byte at the operating point."""
+        return self.sram_energy_nominal_j_per_byte * self.energy_scale(
+            frequency_hz
+        )
+
+    def simd_lane_energy_j(self, frequency_hz: float) -> float:
+        return self.simd_lane_energy_nominal_j * self.energy_scale(frequency_hz)
+
+    @property
+    def sram_static_w(self) -> float:
+        return self.sram_static_w_per_mb * self.sram_mb
+
+    @property
+    def sram_area_mm2(self) -> float:
+        return self.sram_area_mm2_per_mb * self.sram_mb
+
+    def alu_area_budget_mm2(self) -> float:
+        """Die area left for the ALU arrays after SRAM and the DRAM
+        interface take their share (Eq. 1 rearranged)."""
+        return self.die_area_mm2 - self.sram_area_mm2 - self.dram_area_mm2
+
+    def dynamic_power_budget_w(self) -> float:
+        """Package power left for ALU + buffer dynamics (Eq. 2
+        rearranged)."""
+        return self.power_budget_w - self.dram_power_w - self.sram_static_w
+
+
+#: The calibrated default technology.
+TSMC28 = TechnologyModel()

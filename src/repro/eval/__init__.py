@@ -1,0 +1,27 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each module exposes a ``run(...)`` returning structured results and a
+``render(...)`` producing the text table/series the paper reports. The
+benchmarks under ``benchmarks/`` are thin wrappers that execute these
+and print the output; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from repro.eval import fig2, fig6, fig7, fig8, fig9, fig10, fig11, spike
+from repro.eval import table1, table2, table3
+from repro.eval.runner import simulate_load_point, build_accelerator
+
+__all__ = [
+    "fig2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "spike",
+    "table1",
+    "table2",
+    "table3",
+    "simulate_load_point",
+    "build_accelerator",
+]

@@ -1,0 +1,111 @@
+"""Figure 11: adaptive batching — policy, threshold, and training impact.
+
+Three panels on Equinox_500µs:
+
+* (a) static vs adaptive batching: p99 latency vs offered load —
+  static batching's formation time dominates and violates the target
+  at low load; adaptive batching bounds it;
+* (b) the adaptive timeout threshold (2×–10× the service time) traded
+  against p99 at swept load;
+* (c) the same threshold sweep's effect on harvested training
+  throughput.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.eval.report import render_series
+from repro.eval.runner import build_accelerator, latency_target_us, simulate_load_point
+from repro.models.lstm import deepbench_lstm
+
+DEFAULT_LOADS = (0.08, 0.2, 0.4, 0.6, 0.8, 0.95)
+DEFAULT_THRESHOLDS = (2.0, 4.0, 6.0, 8.0, 10.0)
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    loads: List[float]
+    #: (a) policy -> p99 ms per load.
+    batching_p99_ms: Dict[str, List[float]]
+    #: (b/c) threshold multiple -> (p99 ms, train TOp/s, incomplete frac) per load.
+    threshold_curves: Dict[float, List[Tuple[float, float, float]]]
+    latency_target_ms: float
+
+    def static_violates_at_low_load(self) -> bool:
+        return self.batching_p99_ms["static"][0] > self.latency_target_ms
+
+    def adaptive_meets_at_low_load(self) -> bool:
+        return self.batching_p99_ms["adaptive"][0] <= self.latency_target_ms
+
+
+def run(
+    loads: Sequence[float] = DEFAULT_LOADS,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+    latency_class: str = "500us",
+    batches: int = 12,
+    seed: int = 0,
+) -> Fig11Result:
+    target_ms = latency_target_us() / 1e3
+
+    batching_p99: Dict[str, List[float]] = {}
+    for policy in ("static", "adaptive"):
+        series = []
+        for load in loads:
+            acc = build_accelerator(latency_class, batching=policy)
+            report = simulate_load_point(acc, load, batches=batches, seed=seed)
+            series.append(report.p99_latency_us / 1e3)
+        batching_p99[policy] = series
+
+    threshold_curves: Dict[float, List[Tuple[float, float, float]]] = {}
+    for threshold in thresholds:
+        series = []
+        for load in loads:
+            acc = build_accelerator(
+                latency_class,
+                training_model=deepbench_lstm(),
+                batch_timeout_x=threshold,
+            )
+            report = simulate_load_point(acc, load, batches=batches, seed=seed)
+            incomplete = (
+                report.incomplete_batches / report.batches_completed
+                if report.batches_completed else 0.0
+            )
+            series.append(
+                (report.p99_latency_us / 1e3, report.training_top_s, incomplete)
+            )
+        threshold_curves[threshold] = series
+    return Fig11Result(
+        loads=list(loads),
+        batching_p99_ms=batching_p99,
+        threshold_curves=threshold_curves,
+        latency_target_ms=target_ms,
+    )
+
+
+def render(result: Fig11Result) -> str:
+    part_a = render_series(
+        f"Figure 11a: p99 (ms) vs load, static vs adaptive batching "
+        f"(target {result.latency_target_ms:.2f} ms)",
+        "load",
+        result.loads,
+        result.batching_p99_ms,
+    )
+    part_b = render_series(
+        "Figure 11b: p99 (ms) vs load by adaptive threshold (x service time)",
+        "load",
+        result.loads,
+        {
+            f"{threshold:.0f}x": [p99 for p99, _, _ in series]
+            for threshold, series in result.threshold_curves.items()
+        },
+    )
+    part_c = render_series(
+        "Figure 11c: training throughput (TOp/s) vs load by threshold",
+        "load",
+        result.loads,
+        {
+            f"{threshold:.0f}x": [train for _, train, _ in series]
+            for threshold, series in result.threshold_curves.items()
+        },
+    )
+    return "\n\n".join([part_a, part_b, part_c])

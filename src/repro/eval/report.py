@@ -1,0 +1,45 @@
+"""Plain-text rendering of tables and series for the harness output."""
+
+from typing import List, Sequence
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width table with a title rule, like the paper's tables."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(value) for value in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[float],
+    columns: "dict[str, Sequence[float]]",
+) -> str:
+    """One x column against named y series — a figure as text."""
+    headers = [x_label] + list(columns)
+    rows: List[List[object]] = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[i] for series in columns.values()])
+    return render_table(title, headers, rows)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)

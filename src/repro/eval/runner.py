@@ -1,0 +1,60 @@
+"""Shared simulation plumbing for the per-figure experiments."""
+
+from typing import Optional
+
+from repro.core.equinox import EquinoxAccelerator, SimulationReport
+from repro.dse.table1 import equinox_configuration
+from repro.hw.config import AcceleratorConfig
+from repro.models.graph import ModelSpec
+from repro.models.lstm import deepbench_lstm
+
+#: Batches of measurement per load point; enough for a stable p99 at
+#: batch sizes in the hundreds while keeping sweeps interactive.
+DEFAULT_BATCHES = 12
+
+#: The paper's service-level objective: p99 at 10× the mean service
+#: time of the workload on Equinox_500µs.
+SLO_MULTIPLE = 10.0
+
+
+def build_accelerator(
+    latency_class: str = "500us",
+    encoding: str = "hbfp8",
+    inference_model: Optional[ModelSpec] = None,
+    training_model: Optional[ModelSpec] = None,
+    scheduler: str = "priority",
+    batching: str = "adaptive",
+    batch_timeout_x: float = 2.0,
+    chunk_us: float = 2.0,
+    config: Optional[AcceleratorConfig] = None,
+) -> EquinoxAccelerator:
+    """Build an Equinox instance for one named design point."""
+    if config is None:
+        config = equinox_configuration(latency_class, encoding)
+    return EquinoxAccelerator(
+        config,
+        inference_model or deepbench_lstm(),
+        training_model=training_model,
+        scheduler=scheduler if training_model is not None else "inference_only",
+        batching=batching,
+        batch_timeout_x=batch_timeout_x,
+        chunk_us=chunk_us,
+    )
+
+
+def simulate_load_point(
+    accelerator: EquinoxAccelerator,
+    load: float,
+    batches: int = DEFAULT_BATCHES,
+    seed: int = 0,
+) -> SimulationReport:
+    """Run one offered-load point for ``batches`` worth of requests."""
+    requests = max(500, batches * accelerator.batch_slots)
+    return accelerator.run(load=load, requests=requests, seed=seed)
+
+
+def latency_target_us(encoding: str = "hbfp8") -> float:
+    """The paper's SLO: 10× the mean LSTM service time on the 500 µs
+    configuration (applied to every configuration of that encoding)."""
+    reference = build_accelerator("500us", encoding)
+    return SLO_MULTIPLE * reference.batch_service_us()

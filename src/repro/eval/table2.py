@@ -1,0 +1,99 @@
+"""Table 2: workload sensitivity (LSTM, GRU, ResNet50) on Equinox_500µs.
+
+Per model: training throughput at 60 % inference load, maximum
+inference throughput, and unloaded inference latency. Shapes to check:
+LSTM and GRU deliver the same inference and training throughput despite
+two orders of magnitude difference in service time; ResNet50 runs at a
+fraction of peak because its lowered-convolution GEMMs tile poorly on
+the large MMU.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.eval.report import render_table
+from repro.eval.runner import build_accelerator, simulate_load_point
+from repro.models.graph import ModelSpec
+from repro.models.gru import deepbench_gru
+from repro.models.lstm import deepbench_lstm
+from repro.models.resnet import resnet50
+
+#: Paper values: model -> (train TOp/s @60%, max inf TOp/s, latency ms).
+PAPER = {
+    "lstm": (83.4, 319.0, 0.5),
+    "gru": (83.4, 319.0, 36.6),
+    "resnet50": (18.0, 67.0, 1.32),
+}
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    #: model key -> (train TOp/s @60% load, max inf TOp/s, latency ms).
+    rows: Dict[str, Tuple[float, float, float]]
+
+    def recurrent_throughputs_match(self, tolerance: float = 0.15) -> bool:
+        """LSTM and GRU should deliver near-identical throughput."""
+        lstm, gru = self.rows["lstm"], self.rows["gru"]
+        return (
+            abs(lstm[0] - gru[0]) <= tolerance * max(lstm[0], 1e-9)
+            and abs(lstm[1] - gru[1]) <= tolerance * max(lstm[1], 1e-9)
+        )
+
+
+def _models(
+    gru_steps: int, resnet_side: int
+) -> "dict[str, tuple[ModelSpec, float, int]]":
+    """model key -> (spec, compiler chunk µs, measurement batches)."""
+    return {
+        "lstm": (deepbench_lstm(), 2.0, 8),
+        "gru": (deepbench_gru(steps=gru_steps), 20.0, 2),
+        "resnet50": (resnet50(image_size=resnet_side), 4.0, 4),
+    }
+
+
+def run(
+    latency_class: str = "500us",
+    load: float = 0.6,
+    gru_steps: int = 1500,
+    resnet_side: int = 224,
+    seed: int = 0,
+) -> Table2Result:
+    rows: Dict[str, Tuple[float, float, float]] = {}
+    for key, (spec, chunk_us, batches) in _models(gru_steps, resnet_side).items():
+        # Unloaded latency: the analytic batch service time.
+        probe = build_accelerator(latency_class, inference_model=spec, chunk_us=chunk_us)
+        latency_ms = probe.batch_service_us() / 1e3
+
+        # Max inference throughput: saturating offered load, no training.
+        acc = build_accelerator(latency_class, inference_model=spec, chunk_us=chunk_us)
+        saturated = simulate_load_point(acc, load=1.2, batches=batches, seed=seed)
+        max_inference = saturated.inference_top_s
+
+        # Training throughput at 60 % load, same model training.
+        acc = build_accelerator(
+            latency_class, inference_model=spec, training_model=spec,
+            chunk_us=chunk_us,
+        )
+        report = simulate_load_point(acc, load=load, batches=batches, seed=seed)
+        rows[key] = (report.training_top_s, max_inference, latency_ms)
+    return Table2Result(rows=rows)
+
+
+def render(result: Table2Result) -> str:
+    rows = []
+    for key, (train, inf, latency) in result.rows.items():
+        paper = PAPER.get(key, (float("nan"),) * 3)
+        rows.append(
+            (
+                key, f"{train:.1f}", f"{inf:.1f}", f"{latency:.2f}",
+                paper[0], paper[1], paper[2],
+            )
+        )
+    return render_table(
+        "Table 2: workload sensitivity on Equinox_500us (ours vs paper)",
+        [
+            "model", "train TOp/s", "max inf TOp/s", "latency ms",
+            "paper_train", "paper_inf", "paper_lat",
+        ],
+        rows,
+    )

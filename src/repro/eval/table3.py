@@ -1,0 +1,75 @@
+"""Table 3: Equinox_500µs component area and power.
+
+Renders the synthesis proxy's component table against the published
+values, plus the two headline overheads: dispatcher (controller) logic
+under 1 % and the uniform-encoding (SIMD unit) overhead around 4 %
+area / 13 % power.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.dse.table1 import equinox_configuration
+from repro.eval.report import render_table
+from repro.synth.report import SynthesisReport, encoding_overhead, synthesize
+
+#: Published Table 3: component -> (area mm², power W).
+PAPER = {
+    "MMU": (185.60, 36.84),
+    "DRAM Interface": (46.90, 28.60),
+    "SIMD Unit": (13.43, 10.97),
+    "Weight Buffer": (45.96, 4.28),
+    "Activation Buffer": (18.27, 1.07),
+    "Request Dispatcher": (0.79, 0.20),
+    "Instruction Dispatcher": (0.49, 0.14),
+    "Others": (6.39, 3.77),
+}
+PAPER_TOTAL = (313.85, 85.91)
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    report: SynthesisReport
+    overheads: Dict[str, float]
+
+
+def run(latency_class: str = "500us", encoding: str = "hbfp8") -> Table3Result:
+    config = equinox_configuration(latency_class, encoding)
+    return Table3Result(
+        report=synthesize(config),
+        overheads=encoding_overhead(config),
+    )
+
+
+def render(result: Table3Result) -> str:
+    rows = []
+    for comp in result.report.components:
+        paper = PAPER.get(comp.name, (float("nan"), float("nan")))
+        rows.append(
+            (
+                comp.name, f"{comp.area_mm2:.2f}", f"{comp.power_w:.2f}",
+                paper[0], paper[1],
+            )
+        )
+    rows.append(
+        (
+            "Total",
+            f"{result.report.total_area_mm2:.2f}",
+            f"{result.report.total_power_w:.2f}",
+            PAPER_TOTAL[0],
+            PAPER_TOTAL[1],
+        )
+    )
+    table = render_table(
+        f"Table 3: {result.report.config_name} area/power (ours vs paper)",
+        ["component", "mm2", "W", "paper_mm2", "paper_W"],
+        rows,
+    )
+    o = result.overheads
+    summary = (
+        f"controller overhead: {o['controller_area_overhead'] * 100:.2f}% area / "
+        f"{o['controller_power_overhead'] * 100:.2f}% power (paper: <1%); "
+        f"encoding overhead: {o['encoding_area_overhead'] * 100:.1f}% area / "
+        f"{o['encoding_power_overhead'] * 100:.1f}% power (paper: 4% / 13%)"
+    )
+    return table + "\n\n" + summary

@@ -1,0 +1,49 @@
+"""Hardware component models.
+
+Timing-level models of every block in the paper's Figure 3 — the matrix
+multiply unit (m systolic arrays of n×n w-wide PEs), the SIMD unit, the
+activation/weight buffers, the DRAM (HBM) interface and im2col — plus a
+functional per-cycle systolic-array model used the way the authors used
+RTL traces: to validate the event-driven timing formulas.
+"""
+
+from repro.hw.config import AcceleratorConfig, SRAMBudget, DRAMSpec
+from repro.hw.isa import MMUJob, SIMDJob, DRAMRequest, StepProgram, Program
+from repro.hw.mmu import MatrixMultiplyUnit
+from repro.hw.simd import SIMDUnit
+from repro.hw.dram import HBMInterface
+from repro.hw.buffers import OnChipBuffer, BufferAllocation
+from repro.hw.systolic import SystolicArray, systolic_latency_cycles
+from repro.hw.im2col import lowered_conv_gemm, Im2ColUnit
+from repro.hw.instructions import (
+    Opcode,
+    Instruction,
+    InstructionImage,
+    assemble_inference,
+    assemble_training,
+)
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "InstructionImage",
+    "assemble_inference",
+    "assemble_training",
+    "AcceleratorConfig",
+    "SRAMBudget",
+    "DRAMSpec",
+    "MMUJob",
+    "SIMDJob",
+    "DRAMRequest",
+    "StepProgram",
+    "Program",
+    "MatrixMultiplyUnit",
+    "SIMDUnit",
+    "HBMInterface",
+    "OnChipBuffer",
+    "BufferAllocation",
+    "SystolicArray",
+    "systolic_latency_cycles",
+    "lowered_conv_gemm",
+    "Im2ColUnit",
+]

@@ -1,0 +1,169 @@
+"""Accelerator configuration.
+
+The three array dimensions the paper's design-space exploration sweeps —
+``n`` (systolic array side, which is also the minimum batch size for
+full utilization of vector-matrix models), ``m`` (number of systolic
+arrays) and ``w`` (PE width) — plus clock frequency, datapath encoding,
+and the SRAM/DRAM provisioning of §5 (20 MB activation, 50 MB weight,
+32 KB instruction, 5 MB SIMD register file; one HBM stack at 1 TB/s).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.arith.types import Encoding, encoding_by_name
+
+MB = 1024 * 1024
+KB = 1024
+
+
+@dataclass(frozen=True)
+class SRAMBudget:
+    """On-chip SRAM partitioning (paper §5 configuration)."""
+
+    activation_bytes: int = 20 * MB
+    weight_bytes: int = 50 * MB
+    instruction_bytes: int = 32 * KB
+    simd_rf_bytes: int = 5 * MB
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.activation_bytes
+            + self.weight_bytes
+            + self.instruction_bytes
+            + self.simd_rf_bytes
+        )
+
+
+@dataclass(frozen=True)
+class DRAMSpec:
+    """Off-chip memory: one HBM stack (paper §4.1).
+
+    Attributes:
+        bandwidth_bytes_per_s: Peak bandwidth (1 TB/s, the largest HBM
+            commercially available at publication).
+        latency_ns: Fixed access latency added after serialization.
+        block_bytes: Access granularity (512-bit blocks, the size the
+            authors validated against DRAMSim).
+    """
+
+    bandwidth_bytes_per_s: float = 1e12
+    latency_ns: float = 100.0
+    block_bytes: int = 64
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """One accelerator design point.
+
+    Attributes:
+        name: Human-readable identifier, e.g. ``"equinox_500us"``.
+        n: Systolic array side (n×n PEs per array). Vector-matrix
+            models need batch ≥ n for full utilization, so n is also
+            the batch target of the request dispatcher.
+        m: Number of systolic arrays.
+        w: PE width (fixed-point values processed per PE per cycle).
+        frequency_hz: Clock frequency.
+        encoding: Datapath numeric encoding name (``hbfp8``/``bfloat16``
+            /``fixed8``).
+        sram: SRAM partitioning.
+        dram: HBM interface spec.
+        simd_lanes: Scalar lanes in the SIMD unit (bfloat16 ALUs).
+        staging_fraction: Fraction of on-chip buffers a training service
+            may use to stage DRAM operands (< 2 % per the paper §2.2).
+    """
+
+    name: str
+    n: int
+    m: int
+    w: int
+    frequency_hz: float
+    encoding: str = "hbfp8"
+    sram: SRAMBudget = field(default_factory=SRAMBudget)
+    dram: DRAMSpec = field(default_factory=DRAMSpec)
+    simd_lanes: int = 2600
+    staging_fraction: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.m < 1 or self.w < 1:
+            raise ValueError(f"array dimensions must be positive: {self}")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        encoding_by_name(self.encoding)  # raises on unknown name
+
+    # ------------------------------------------------------------------
+    # Derived datapath geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def encoding_info(self) -> Encoding:
+        return encoding_by_name(self.encoding)
+
+    @property
+    def tile_k(self) -> int:
+        """Reduction-dimension tile width: n·w values per array pass."""
+        return self.n * self.w
+
+    @property
+    def column_group(self) -> int:
+        """Output columns produced per MMU pass: n per array × m arrays."""
+        return self.m * self.n
+
+    @property
+    def total_alus(self) -> int:
+        """Multiply-accumulate units: m arrays × n×n PEs × w wide."""
+        return self.m * self.n * self.n * self.w
+
+    @property
+    def peak_ops_per_cycle(self) -> float:
+        """Paper Eq. 3 numerator: 2 ops (mul+acc) per ALU per cycle."""
+        return 2.0 * self.total_alus
+
+    @property
+    def peak_throughput_ops(self) -> float:
+        """Peak throughput in op/s (Eq. 3)."""
+        return self.peak_ops_per_cycle * self.frequency_hz
+
+    @property
+    def peak_throughput_top_s(self) -> float:
+        """Peak throughput in TOp/s."""
+        return self.peak_throughput_ops / 1e12
+
+    @property
+    def pipeline_drain_cycles(self) -> int:
+        """Cycles from last input row to last output: the systolic fill
+        of the n·w-deep reduction plus the 2n skew across rows/columns.
+
+        Validated against the functional array model in
+        ``tests/hw/test_systolic.py``.
+        """
+        return self.n * self.w + 2 * self.n
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        return self.dram.bandwidth_bytes_per_s / self.frequency_hz
+
+    @property
+    def dram_latency_cycles(self) -> float:
+        return self.dram.latency_ns * 1e-9 * self.frequency_hz
+
+    @property
+    def staging_bytes(self) -> float:
+        """On-chip bytes available to stage training operands."""
+        return self.staging_fraction * self.sram.total_bytes
+
+    # ------------------------------------------------------------------
+    # Unit conversions
+    # ------------------------------------------------------------------
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.frequency_hz
+
+    def cycles_to_us(self, cycles: float) -> float:
+        return cycles / self.frequency_hz * 1e6
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        return seconds * self.frequency_hz
+
+    def us_to_cycles(self, us: float) -> float:
+        return us * 1e-6 * self.frequency_hz

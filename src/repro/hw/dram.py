@@ -1,0 +1,78 @@
+"""HBM (off-chip DRAM) interface model.
+
+A single HBM stack with 1 TB/s of bandwidth (paper §4.1). Transfers
+serialize on the channel at the configured bytes-per-cycle rate, round
+up to 512-bit blocks, and complete a fixed access latency after their
+last block — the throughput/latency-limited model the authors verified
+against DRAMSim for 512-bit blocks.
+
+Inference traffic (rare — models are resident on chip) gets priority
+over training traffic so that piggybacking never delays an inference
+weight or I/O transfer.
+"""
+
+from typing import Callable, Optional
+
+from repro.hw.config import AcceleratorConfig
+from repro.sim.engine import Simulator
+from repro.sim.resources import BandwidthChannel
+
+#: Queue priorities on the DRAM channel.
+PRIORITY_INFERENCE = 0
+PRIORITY_TRAINING = 1
+
+
+class HBMInterface:
+    """Event-driven model of the DRAM interface."""
+
+    def __init__(self, sim: Simulator, config: AcceleratorConfig):
+        self.sim = sim
+        self.config = config
+        self._channel = BandwidthChannel(
+            sim,
+            bytes_per_cycle=config.dram_bytes_per_cycle,
+            fixed_latency=config.dram_latency_cycles,
+            name="hbm",
+        )
+        self.bytes_by_kind: dict = {}
+
+    @property
+    def queue_depth(self) -> int:
+        return self._channel.queue_depth
+
+    @property
+    def bytes_transferred(self) -> float:
+        return self._channel.bytes_transferred
+
+    def _block_align(self, size_bytes: float) -> float:
+        block = self.config.dram.block_bytes
+        blocks = max(1, -(-int(size_bytes) // block)) if size_bytes > 0 else 0
+        return float(blocks * block)
+
+    def transfer(
+        self,
+        size_bytes: float,
+        kind: str = "train_weights",
+        on_done: Optional[Callable[[], None]] = None,
+        priority: int = PRIORITY_TRAINING,
+    ) -> None:
+        """Move ``size_bytes`` (block-aligned) across the channel."""
+        aligned = self._block_align(size_bytes)
+        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0.0) + aligned
+        if aligned == 0:
+            if on_done is not None:
+                self.sim.after(0.0, on_done)
+            return
+        self._channel.transfer(aligned, on_done=on_done, priority=priority, tag=kind)
+
+    def utilization(self, window_cycles: Optional[float] = None) -> float:
+        """Fraction of peak bandwidth consumed."""
+        return self._channel.utilization(window_cycles)
+
+    def achieved_gb_s(self, window_cycles: Optional[float] = None) -> float:
+        """Average achieved bandwidth in GB/s over the window."""
+        window = self.sim.now if window_cycles is None else window_cycles
+        if window <= 0:
+            return 0.0
+        bytes_per_cycle = self._channel.bytes_transferred / window
+        return bytes_per_cycle * self.config.frequency_hz / 1e9

@@ -1,0 +1,164 @@
+"""Host interface and service installation (paper Figure 3, §3.1).
+
+The host interface connects the accelerator to the host and its
+network/storage peripherals over a standard I/O fabric (PCIe). Service
+installation loads the service's code (instruction image) and model
+(weights) into their buffers and launches the accelerator, which then
+operates autonomously; afterwards the same link carries client
+requests and responses.
+
+This module models the link's bandwidth/latency, the installation
+protocol (with capacity validation against the instruction and weight
+buffers), and per-request transfer costs — the pieces the evaluation's
+steady-state experiments abstract away but a deployment needs.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.hw.config import AcceleratorConfig
+from repro.hw.instructions import InstructionImage
+from repro.models.graph import ModelSpec
+from repro.sim.engine import Simulator
+from repro.sim.resources import BandwidthChannel
+
+
+@dataclass(frozen=True)
+class HostLinkSpec:
+    """The I/O fabric: PCIe 4.0 x16 by default."""
+
+    bandwidth_bytes_per_s: float = 32e9
+    latency_us: float = 1.0
+
+
+@dataclass
+class InstalledService:
+    """Bookkeeping for one installed service."""
+
+    name: str
+    model: ModelSpec
+    image: InstructionImage
+    weight_bytes: float
+    install_completed_cycle: Optional[float] = None
+
+    @property
+    def is_launched(self) -> bool:
+        return self.install_completed_cycle is not None
+
+
+class ServiceInstallationError(Exception):
+    """Raised when a service cannot be installed (capacity, conflicts)."""
+
+
+class HostInterface:
+    """Event-driven model of the host link and installation protocol."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: AcceleratorConfig,
+        link: HostLinkSpec = HostLinkSpec(),
+    ):
+        self.sim = sim
+        self.config = config
+        self.link = link
+        self._channel = BandwidthChannel(
+            sim,
+            bytes_per_cycle=link.bandwidth_bytes_per_s / config.frequency_hz,
+            fixed_latency=link.latency_us * 1e-6 * config.frequency_hz,
+            name="host_link",
+        )
+        self.services: Dict[str, InstalledService] = {}
+        self.request_bytes_in = 0.0
+        self.response_bytes_out = 0.0
+
+    # ------------------------------------------------------------------
+    # Service installation
+    # ------------------------------------------------------------------
+
+    def _validate(self, service: InstalledService) -> None:
+        images = sum(s.image.bytes for s in self.services.values())
+        images += service.image.bytes
+        if images > self.config.sram.instruction_bytes:
+            raise ServiceInstallationError(
+                f"instruction images need {images} B; the buffer holds "
+                f"{self.config.sram.instruction_bytes} B"
+            )
+        if service.name == "inference":
+            if service.weight_bytes > self.config.sram.weight_bytes:
+                raise ServiceInstallationError(
+                    f"{service.model.name}: weights "
+                    f"({service.weight_bytes / 2**20:.1f} MiB) exceed the "
+                    f"weight buffer "
+                    f"({self.config.sram.weight_bytes / 2**20:.1f} MiB)"
+                )
+
+    def install(
+        self,
+        name: str,
+        model: ModelSpec,
+        image: InstructionImage,
+        on_launched: Optional[Callable[[], None]] = None,
+    ) -> InstalledService:
+        """Install a service: validate, transfer code + model, launch.
+
+        The transfer serializes on the host link; ``on_launched`` fires
+        when the accelerator takes over (installation complete).
+        """
+        if name in self.services:
+            raise ServiceInstallationError(f"service {name!r} already installed")
+        operand_bytes = self.config.encoding_info.bytes_per_operand
+        weight_bytes = model.weight_bytes(operand_bytes)
+        service = InstalledService(
+            name=name, model=model, image=image, weight_bytes=weight_bytes
+        )
+        self._validate(service)
+        self.services[name] = service
+
+        def _launched() -> None:
+            service.install_completed_cycle = self.sim.now
+            if on_launched is not None:
+                on_launched()
+
+        # Training weights stay DRAM-resident: only the image ships to
+        # the instruction buffer; inference also uploads its model.
+        payload = service.image.bytes
+        if name == "inference":
+            payload += weight_bytes
+        self._channel.transfer(payload, on_done=_launched, tag=f"install:{name}")
+        return service
+
+    def uninstall(self, name: str) -> None:
+        self.services.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Request/response traffic
+    # ------------------------------------------------------------------
+
+    def request_in(
+        self,
+        size_bytes: float,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """A client request body crosses the link into the accelerator."""
+        self.request_bytes_in += size_bytes
+        self._channel.transfer(size_bytes, on_done=on_done, tag="request")
+
+    def response_out(
+        self,
+        size_bytes: float,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """A response crosses the link back to the host."""
+        self.response_bytes_out += size_bytes
+        self._channel.transfer(size_bytes, on_done=on_done, tag="response")
+
+    def installation_time_s(self, name: str) -> float:
+        """Wall-clock time the installation took (after completion)."""
+        service = self.services[name]
+        if service.install_completed_cycle is None:
+            raise ValueError(f"service {name!r} has not launched yet")
+        return self.config.cycles_to_seconds(service.install_completed_cycle)
+
+    def utilization(self) -> float:
+        return self._channel.utilization()

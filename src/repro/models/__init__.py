@@ -1,0 +1,48 @@
+"""DNN workload models and the tile compiler.
+
+The paper evaluates three inference/training workloads (§5): the
+DeepBench machine-translation LSTM (2048 hidden units, 25 steps), the
+DeepBench speech-recognition GRU (2816 hidden units, 1500 steps), and a
+ResNet50 CNN. This package builds layer-accurate specifications of all
+three (plus an MLP used by the examples) and compiles them into the
+tiled instruction streams of paper Figure 4 for any accelerator
+configuration — for inference batches and for training iterations
+(forward, input-gradient and weight-gradient passes plus the
+parameter-server exchange).
+"""
+
+from repro.models.graph import GemmLayer, ModelSpec
+from repro.models.lstm import deepbench_lstm
+from repro.models.gru import deepbench_gru
+from repro.models.resnet import resnet50
+from repro.models.mlp import mlp
+from repro.models.compiler import (
+    TileCompiler,
+    compile_inference,
+    compile_training,
+    tiling_utilization,
+)
+from repro.models.training import TrainingPlan, build_training_plan
+from repro.models.functional import (
+    FunctionalLSTMCell,
+    FunctionalMLP,
+    relative_output_error,
+)
+
+__all__ = [
+    "GemmLayer",
+    "ModelSpec",
+    "deepbench_lstm",
+    "deepbench_gru",
+    "resnet50",
+    "mlp",
+    "TileCompiler",
+    "compile_inference",
+    "compile_training",
+    "tiling_utilization",
+    "TrainingPlan",
+    "build_training_plan",
+    "FunctionalLSTMCell",
+    "FunctionalMLP",
+    "relative_output_error",
+]

@@ -1,0 +1,121 @@
+"""Layer-graph intermediate representation.
+
+A model is an ordered chain of :class:`GemmLayer` entries. Each layer is
+one GEMM shape plus the vector (SIMD) work attached to it; recurrent
+layers carry a ``repeats`` count — the sequential time steps that form
+the dependency chain dominating recurrent service times.
+
+The compiler only needs shapes and dependency structure, so this IR is
+deliberately minimal; the functional models used for the convergence
+experiments live in :mod:`repro.train` instead.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class GemmLayer:
+    """One GEMM-shaped layer (or one repeated recurrent cell).
+
+    Attributes:
+        name: Layer label.
+        k: Reduction dimension of the GEMM.
+        n_out: Output columns (e.g. 4·hidden for an LSTM's gates).
+        rows_per_sample: Activation rows one sample contributes — 1 for
+            vector-matrix models, the number of output spatial positions
+            for a lowered convolution.
+        repeats: Sequential dependent repetitions (time steps). Weights
+            are shared across repeats.
+        simd_ops_per_sample: Elementwise operations per sample per
+            repeat (gate nonlinearities, state updates, batch norm...).
+        mode: ``"vector"`` — activations broadcast, weights unicast; the
+            MMU needs batch ≥ n for full utilization. ``"tall"`` —
+            activation matrices with large height (lowered convs);
+            weights broadcast, activations unicast.
+    """
+
+    name: str
+    k: int
+    n_out: int
+    rows_per_sample: int = 1
+    repeats: int = 1
+    simd_ops_per_sample: float = 0.0
+    mode: str = "vector"
+
+    def __post_init__(self) -> None:
+        if min(self.k, self.n_out, self.rows_per_sample, self.repeats) < 1:
+            raise ValueError(f"invalid layer dimensions: {self}")
+        if self.mode not in ("vector", "tall"):
+            raise ValueError(f"unknown layer mode {self.mode!r}")
+        if self.simd_ops_per_sample < 0:
+            raise ValueError("SIMD op count must be non-negative")
+
+    @property
+    def weight_count(self) -> int:
+        """Weight elements (shared across repeats)."""
+        return self.k * self.n_out
+
+    @property
+    def macs_per_sample(self) -> float:
+        """MACs one sample needs across all repeats of this layer."""
+        return float(self.rows_per_sample) * self.k * self.n_out * self.repeats
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """An ordered chain of layers plus service metadata.
+
+    Attributes:
+        name: Model identifier.
+        layers: Dependency-ordered layers.
+        conv_batch_hint: For ``tall``-mode models, the inference batch
+            the service uses (vector models batch to the accelerator's
+            ``n`` instead).
+    """
+
+    name: str
+    layers: Tuple[GemmLayer, ...]
+    conv_batch_hint: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("a model needs at least one layer")
+
+    @property
+    def macs_per_sample(self) -> float:
+        """Total MACs to infer one sample."""
+        return sum(layer.macs_per_sample for layer in self.layers)
+
+    @property
+    def ops_per_sample(self) -> float:
+        """Total GEMM ops (2 × MACs) to infer one sample."""
+        return 2.0 * self.macs_per_sample
+
+    @property
+    def weight_count(self) -> int:
+        return sum(layer.weight_count for layer in self.layers)
+
+    def weight_bytes(self, bytes_per_operand: float) -> float:
+        """On-chip footprint of the model's weights."""
+        return self.weight_count * bytes_per_operand
+
+    @property
+    def is_recurrent(self) -> bool:
+        return any(layer.repeats > 1 for layer in self.layers)
+
+    @property
+    def step_count(self) -> int:
+        """Total dependency-chain length across the model."""
+        return sum(layer.repeats for layer in self.layers)
+
+    def inference_batch(self, n: int) -> int:
+        """Batch target for this model on an accelerator with array side n.
+
+        Vector-matrix models need batch ≥ n to fill the array (paper
+        §4); tall (convolutional) models get their rows from spatial
+        positions, so a small service batch suffices.
+        """
+        if all(layer.mode == "tall" for layer in self.layers):
+            return self.conv_batch_hint
+        return n

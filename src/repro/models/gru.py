@@ -1,0 +1,34 @@
+"""DeepBench speech-recognition GRU.
+
+The paper's long-sequence workload (§5): a GRU with 2816 hidden units
+and 1500 time steps, covering the tens-of-milliseconds service-time
+regime. Per step the recurrent GEMM computes three gates (h × 3h); the
+gate products and interpolation run on the SIMD unit.
+"""
+
+from repro.models.graph import GemmLayer, ModelSpec
+
+#: Reset/update gates (~5 ops each over h), candidate tanh (~5 over h),
+#: plus the elementwise reset product and state interpolation (~5).
+_SIMD_OPS_PER_HIDDEN = 2 * 5 + 5 + 5
+
+
+def deepbench_gru(hidden: int = 2816, steps: int = 1500) -> ModelSpec:
+    """Build the DeepBench GRU spec.
+
+    Args:
+        hidden: Hidden-state width (2816 in the paper).
+        steps: Sequence length (1500 in the paper).
+    """
+    if hidden < 1 or steps < 1:
+        raise ValueError("hidden size and steps must be positive")
+    cell = GemmLayer(
+        name="gru_cell",
+        k=hidden,
+        n_out=3 * hidden,
+        rows_per_sample=1,
+        repeats=steps,
+        simd_ops_per_sample=float(_SIMD_OPS_PER_HIDDEN * hidden),
+        mode="vector",
+    )
+    return ModelSpec(name=f"gru_h{hidden}_s{steps}", layers=(cell,))

@@ -1,0 +1,36 @@
+"""DeepBench machine-translation LSTM.
+
+The paper's main workload (§5): an LSTM with 2048 hidden units and 25
+time steps. DeepBench's recurrent kernels time the recurrent GEMM — per
+step, the hidden state (batch × h) multiplies the recurrent weights
+(h × 4h) to produce the four gate pre-activations; the gate
+nonlinearities and the cell/hidden state updates run on the SIMD unit.
+"""
+
+from repro.models.graph import GemmLayer, ModelSpec
+
+#: Per-sample-per-step elementwise work: four gate nonlinearities over
+#: 4h values (~5 ops each as piecewise/polynomial evaluations on the
+#: SIMD unit) plus the c/h state updates (~6 ops over h values).
+_SIMD_OPS_PER_HIDDEN = 4 * 5 + 6
+
+
+def deepbench_lstm(hidden: int = 2048, steps: int = 25) -> ModelSpec:
+    """Build the DeepBench LSTM spec.
+
+    Args:
+        hidden: Hidden-state width (2048 in the paper).
+        steps: Sequence length / recurrent repeats (25 in the paper).
+    """
+    if hidden < 1 or steps < 1:
+        raise ValueError("hidden size and steps must be positive")
+    cell = GemmLayer(
+        name="lstm_cell",
+        k=hidden,
+        n_out=4 * hidden,
+        rows_per_sample=1,
+        repeats=steps,
+        simd_ops_per_sample=float(_SIMD_OPS_PER_HIDDEN * hidden),
+        mode="vector",
+    )
+    return ModelSpec(name=f"lstm_h{hidden}_s{steps}", layers=(cell,))

@@ -1,0 +1,37 @@
+"""MLP model builder.
+
+MLPs dominate datacenter recommendation inference (paper §4 cites RNNs
+and MLPs as the vector-matrix workloads). This builder is used by the
+examples and by tests that need a small, fully-characterized model.
+"""
+
+from typing import Sequence
+
+from repro.models.graph import GemmLayer, ModelSpec
+
+#: ReLU plus bias per output element.
+_SIMD_OPS_PER_OUTPUT = 2.0
+
+
+def mlp(layer_widths: Sequence[int], name: str = "mlp") -> ModelSpec:
+    """Build an MLP from a width chain, e.g. ``[512, 1024, 1024, 64]``.
+
+    Each consecutive pair becomes one GEMM layer; all layers are
+    vector-matrix mode (one activation row per sample).
+    """
+    widths = list(layer_widths)
+    if len(widths) < 2:
+        raise ValueError("an MLP needs at least an input and an output width")
+    if min(widths) < 1:
+        raise ValueError("layer widths must be positive")
+    layers = tuple(
+        GemmLayer(
+            name=f"fc{i}",
+            k=k,
+            n_out=n_out,
+            simd_ops_per_sample=_SIMD_OPS_PER_OUTPUT * n_out,
+            mode="vector",
+        )
+        for i, (k, n_out) in enumerate(zip(widths[:-1], widths[1:]))
+    )
+    return ModelSpec(name=name, layers=layers)

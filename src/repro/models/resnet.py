@@ -1,0 +1,106 @@
+"""ResNet50 layer table.
+
+The paper's CNN workload (Table 2). Each convolution is lowered to a
+GEMM by the im2col unit; the activation matrix is tall (one row per
+output spatial position), so the MMU processes these layers in its
+weight-broadcast mode. Batch normalization, ReLU and the residual adds
+run on the SIMD unit.
+"""
+
+from typing import List, Tuple
+
+from repro.hw.im2col import ConvShape, lowered_conv_gemm
+from repro.models.graph import GemmLayer, ModelSpec
+
+#: (blocks, bottleneck width, output channels, first-block stride)
+_STAGES: Tuple[Tuple[int, int, int, int], ...] = (
+    (3, 64, 256, 1),  # conv2_x on 56×56
+    (4, 128, 512, 2),  # conv3_x on 28×28
+    (6, 256, 1024, 2),  # conv4_x on 14×14
+    (3, 512, 2048, 2),  # conv5_x on 7×7
+)
+
+#: Per-output-element SIMD work: batch norm (scale+shift), ReLU, and a
+#: share of the residual add.
+_SIMD_OPS_PER_OUTPUT = 4.0
+
+
+def _conv_layer(name: str, shape: ConvShape) -> GemmLayer:
+    m_rows, k, n_out = lowered_conv_gemm(shape, batch=1)
+    return GemmLayer(
+        name=name,
+        k=k,
+        n_out=n_out,
+        rows_per_sample=m_rows,
+        repeats=1,
+        simd_ops_per_sample=_SIMD_OPS_PER_OUTPUT * m_rows * n_out,
+        mode="tall",
+    )
+
+
+def resnet50(image_size: int = 224, conv_batch: int = 8) -> ModelSpec:
+    """Build the ResNet50 spec (He et al., CVPR'16 bottleneck variant).
+
+    Args:
+        image_size: Input resolution (224 in the paper's setting).
+        conv_batch: Inference service batch for this model; spatial
+            positions supply MMU rows, so the service batches far fewer
+            requests than recurrent models do.
+    """
+    if image_size < 32:
+        raise ValueError("image size too small for the ResNet50 stem")
+    layers: List[GemmLayer] = []
+
+    # Stem: 7×7/2 convolution then 3×3/2 max pooling.
+    stem = ConvShape(
+        in_channels=3, out_channels=64, kernel=7, stride=2, padding=3,
+        in_height=image_size, in_width=image_size,
+    )
+    layers.append(_conv_layer("conv1", stem))
+    feat = stem.out_height // 2  # max-pool halves the resolution
+    channels = 64
+
+    for stage_idx, (blocks, width, out_channels, first_stride) in enumerate(_STAGES):
+        for block in range(blocks):
+            stride = first_stride if block == 0 else 1
+            prefix = f"conv{stage_idx + 2}_{block + 1}"
+            reduce_shape = ConvShape(
+                in_channels=channels, out_channels=width, kernel=1,
+                stride=stride, padding=0, in_height=feat, in_width=feat,
+            )
+            layers.append(_conv_layer(f"{prefix}_1x1a", reduce_shape))
+            mid = reduce_shape.out_height
+            conv_shape = ConvShape(
+                in_channels=width, out_channels=width, kernel=3,
+                stride=1, padding=1, in_height=mid, in_width=mid,
+            )
+            layers.append(_conv_layer(f"{prefix}_3x3", conv_shape))
+            expand_shape = ConvShape(
+                in_channels=width, out_channels=out_channels, kernel=1,
+                stride=1, padding=0, in_height=mid, in_width=mid,
+            )
+            layers.append(_conv_layer(f"{prefix}_1x1b", expand_shape))
+            if block == 0:
+                shortcut = ConvShape(
+                    in_channels=channels, out_channels=out_channels, kernel=1,
+                    stride=stride, padding=0, in_height=feat, in_width=feat,
+                )
+                layers.append(_conv_layer(f"{prefix}_shortcut", shortcut))
+            feat = mid
+            channels = out_channels
+
+    # Global average pool feeds the classifier GEMM.
+    layers.append(
+        GemmLayer(
+            name="fc1000",
+            k=channels,
+            n_out=1000,
+            rows_per_sample=1,
+            simd_ops_per_sample=1000.0,
+            mode="tall",
+        )
+    )
+    return ModelSpec(
+        name=f"resnet50_{image_size}", layers=tuple(layers),
+        conv_batch_hint=conv_batch,
+    )

@@ -1,0 +1,127 @@
+"""Statistics collectors: tail latency, throughput, cycle accounting.
+
+These produce exactly the quantities the paper's evaluation reports:
+99th-percentile request latency (Figures 7, 10, 11), sustained
+throughput in TOp/s (Figures 7, 9, Table 2), and the MMU cycle breakdown
+into working / dummy / idle / other (Figure 8).
+"""
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+class LatencyStats:
+    """Collects per-request latency samples and reports percentiles."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        self._samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def samples_since(self, index: int) -> List[float]:
+        """Samples recorded at or after position ``index`` (for
+        windowed measurements over a live run)."""
+        return self._samples[index:]
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of recorded latencies."""
+        if not self._samples:
+            raise ValueError("no latency samples recorded")
+        return float(np.percentile(self._samples, q))
+
+    def p99(self) -> float:
+        """99th-percentile latency, the paper's service-level metric."""
+        return self.percentile(99.0)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("no latency samples recorded")
+        return float(np.mean(self._samples))
+
+    def max(self) -> float:
+        if not self._samples:
+            raise ValueError("no latency samples recorded")
+        return float(np.max(self._samples))
+
+
+class ThroughputMeter:
+    """Integrates useful operations over time to report TOp/s.
+
+    ``record(ops)`` is called as work retires; ``top_s`` converts to
+    TOp/s given the clock frequency that maps cycles to seconds.
+    """
+
+    def __init__(self) -> None:
+        self.total_ops = 0.0
+        self._first_cycle: Optional[float] = None
+        self._last_cycle: Optional[float] = None
+
+    def record(self, ops: float, cycle: float) -> None:
+        if ops < 0:
+            raise ValueError(f"negative op count {ops}")
+        self.total_ops += ops
+        if self._first_cycle is None:
+            self._first_cycle = cycle
+        self._last_cycle = cycle
+
+    def ops_per_cycle(self, horizon_cycles: float) -> float:
+        if horizon_cycles <= 0:
+            return 0.0
+        return self.total_ops / horizon_cycles
+
+    def top_s(self, horizon_cycles: float, frequency_hz: float) -> float:
+        """Sustained throughput in TOp/s over ``horizon_cycles``."""
+        return self.ops_per_cycle(horizon_cycles) * frequency_hz / 1e12
+
+
+#: Cycle categories of Figure 8.
+CYCLE_CATEGORIES = ("working", "dummy", "idle", "other")
+
+
+class CycleAccounting:
+    """Attributes every MMU cycle to one of Figure 8's categories.
+
+    Busy categories (working / dummy / other) are accumulated by the
+    components as they occupy the unit; idle is the remainder of the
+    accounting window. ``breakdown`` normalizes to fractions that sum to
+    one.
+    """
+
+    def __init__(self) -> None:
+        self._busy: Dict[str, float] = {c: 0.0 for c in CYCLE_CATEGORIES if c != "idle"}
+
+    def add(self, category: str, cycles: float) -> None:
+        if category == "idle":
+            raise ValueError("idle cycles are derived, not recorded")
+        if category not in self._busy:
+            raise ValueError(
+                f"unknown cycle category {category!r}; "
+                f"choose from {sorted(self._busy)}"
+            )
+        if cycles < 0:
+            raise ValueError(f"negative cycles {cycles}")
+        self._busy[category] += cycles
+
+    def busy_total(self) -> float:
+        return sum(self._busy.values())
+
+    def breakdown(self, window_cycles: float) -> Dict[str, float]:
+        """Fractions per category over ``window_cycles`` (sums to 1.0)."""
+        if window_cycles <= 0:
+            raise ValueError("accounting window must be positive")
+        busy = self.busy_total()
+        if busy > window_cycles * (1 + 1e-9):
+            raise ValueError(
+                f"busy cycles {busy} exceed the window {window_cycles}"
+            )
+        result = {c: self._busy[c] / window_cycles for c in self._busy}
+        result["idle"] = max(0.0, 1.0 - busy / window_cycles)
+        return result

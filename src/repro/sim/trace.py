@@ -1,0 +1,57 @@
+"""Lightweight event tracing.
+
+The paper validates its simulator against RTL traces; the reproduction's
+equivalent validation (tests comparing the event-driven MMU model
+against the functional systolic array) uses this recorder to capture
+(cycle, component, event, payload) tuples for comparison.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+@dataclass
+class TraceRecord:
+    """One traced occurrence."""
+
+    cycle: float
+    component: str
+    event: str
+    payload: Any = None
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceRecord` entries; disabled tracers are free.
+
+    Attributes:
+        enabled: When False, :meth:`emit` is a no-op so production runs
+            pay nothing.
+        records: The captured trace, in emission order.
+    """
+
+    enabled: bool = True
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def emit(self, cycle: float, component: str, event: str, payload: Any = None) -> None:
+        if not self.enabled:
+            return
+        self.records.append(TraceRecord(cycle, component, event, payload))
+
+    def filter(
+        self, component: Optional[str] = None, event: Optional[str] = None
+    ) -> List[TraceRecord]:
+        """Records matching the given component and/or event name."""
+        out = self.records
+        if component is not None:
+            out = [r for r in out if r.component == component]
+        if event is not None:
+            out = [r for r in out if r.event == event]
+        return list(out)
+
+    def timeline(self, event: str) -> List[Tuple[float, Any]]:
+        """(cycle, payload) pairs for one event type."""
+        return [(r.cycle, r.payload) for r in self.records if r.event == event]
+
+    def clear(self) -> None:
+        self.records.clear()

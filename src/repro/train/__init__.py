@@ -1,0 +1,47 @@
+"""Training substrate: SGD through the real quantized-GEMM datapaths.
+
+Figure 2 of the paper shows that hbfp8 training matches fp32
+convergence (ResNet50/ImageNet validation error, BERT/Wikipedia
+perplexity). Those datasets and model scales are out of reach offline,
+so this package reproduces the *claim under test* at laptop scale: a
+numpy neural-network library whose every GEMM routes through
+:func:`repro.arith.gemm` — the same functional hbfp8/bfloat16/fixed8
+pipelines the accelerator datapath models use — trained end-to-end by
+SGD on synthetic classification (Figure 2a analog) and a character
+language model for perplexity (Figure 2b analog).
+"""
+
+from repro.train.nn import (
+    Linear,
+    ReLU,
+    Tanh,
+    Sequential,
+    softmax_cross_entropy,
+)
+from repro.train.optimizer import SGD
+from repro.train.data import (
+    synthetic_image_classes,
+    synthetic_char_corpus,
+    batch_iterator,
+)
+from repro.train.trainer import Trainer, TrainingCurve
+from repro.train.convergence import (
+    convergence_experiment,
+    perplexity_experiment,
+)
+
+__all__ = [
+    "Linear",
+    "ReLU",
+    "Tanh",
+    "Sequential",
+    "softmax_cross_entropy",
+    "SGD",
+    "synthetic_image_classes",
+    "synthetic_char_corpus",
+    "batch_iterator",
+    "Trainer",
+    "TrainingCurve",
+    "convergence_experiment",
+    "perplexity_experiment",
+]

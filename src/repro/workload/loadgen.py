@@ -1,0 +1,66 @@
+"""Inference arrival processes.
+
+Online inference tiers see Poisson-like request arrivals (paper §5);
+the generators here produce inter-arrival gaps in cycles for the
+simulator's arrival loop. All processes are deterministic given a seed.
+"""
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+class ArrivalProcess:
+    """Produces inter-arrival gaps (cycles) one at a time."""
+
+    def next_gap(self) -> float:
+        raise NotImplementedError
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at a fixed mean rate.
+
+    Attributes:
+        rate_per_cycle: Mean arrivals per cycle (λ).
+        seed: RNG seed; two generators with equal seeds produce equal
+            traces, keeping experiments reproducible.
+    """
+
+    def __init__(self, rate_per_cycle: float, seed: int = 0):
+        if rate_per_cycle <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.rate_per_cycle = rate_per_cycle
+        self._rng = np.random.default_rng(seed)
+
+    def next_gap(self) -> float:
+        return float(self._rng.exponential(1.0 / self.rate_per_cycle))
+
+
+class UniformArrivals(ArrivalProcess):
+    """Fixed-gap arrivals — the zero-variance reference for tests."""
+
+    def __init__(self, gap_cycles: float):
+        if gap_cycles <= 0:
+            raise ValueError("gap must be positive")
+        self.gap_cycles = gap_cycles
+
+    def next_gap(self) -> float:
+        return self.gap_cycles
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replays a recorded gap trace, cycling when exhausted."""
+
+    def __init__(self, gaps_cycles: Sequence[float]):
+        gaps = [float(g) for g in gaps_cycles]
+        if not gaps or min(gaps) < 0:
+            raise ValueError("trace needs non-negative gaps")
+        self._gaps = gaps
+        self._iter: Iterator[float] = iter(())
+
+    def next_gap(self) -> float:
+        try:
+            return next(self._iter)
+        except StopIteration:
+            self._iter = iter(self._gaps)
+            return next(self._iter)

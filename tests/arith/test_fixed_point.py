@@ -1,0 +1,100 @@
+"""Fixed-point formats and quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arith.fixed_point import (
+    FixedPointFormat,
+    quantize_fixed_point,
+    quantize_to_integers,
+)
+
+
+class TestFixedPointFormat:
+    def test_scale_is_lsb(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=7)
+        assert fmt.scale == pytest.approx(2.0**-7)
+
+    def test_max_min_values(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=7)
+        assert fmt.max_value == pytest.approx(127 / 128)
+        assert fmt.min_value == pytest.approx(-1.0)
+
+    def test_rejects_too_few_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=1, frac_bits=0)
+
+    def test_for_range_covers_max(self):
+        fmt = FixedPointFormat.for_range(3.7, total_bits=8)
+        assert fmt.max_value >= 3.7
+
+    def test_for_range_maximizes_resolution(self):
+        fmt = FixedPointFormat.for_range(0.9, total_bits=8)
+        # 0.9 fits in Q1.7; using fewer fractional bits would waste range.
+        assert fmt.frac_bits == 7
+
+    def test_for_range_zero_input(self):
+        fmt = FixedPointFormat.for_range(0.0, total_bits=8)
+        assert fmt.frac_bits == 7
+
+    def test_negative_frac_bits_scale_up(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=-2)
+        assert fmt.scale == 4.0
+
+
+class TestQuantize:
+    def test_exact_grid_points_pass_through(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=4)
+        values = np.array([0.0, 0.0625, -0.125, 1.5])
+        np.testing.assert_allclose(quantize_fixed_point(values, fmt), values)
+
+    def test_saturates_high(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=7)
+        assert quantize_fixed_point(np.array([5.0]), fmt)[0] == pytest.approx(
+            fmt.max_value
+        )
+
+    def test_saturates_low(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=7)
+        assert quantize_fixed_point(np.array([-5.0]), fmt)[0] == pytest.approx(
+            fmt.min_value
+        )
+
+    def test_rounds_to_nearest(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=2)
+        assert quantize_fixed_point(np.array([0.3]), fmt)[0] == pytest.approx(0.25)
+        assert quantize_fixed_point(np.array([0.4]), fmt)[0] == pytest.approx(0.5)
+
+    @given(
+        st.floats(min_value=-0.8, max_value=0.8),
+        st.integers(min_value=4, max_value=16),
+    )
+    def test_error_bounded_by_half_lsb(self, value, bits):
+        # Values within the representable range (max_value >= 0.875 for
+        # bits >= 4) see at most half-LSB rounding error.
+        fmt = FixedPointFormat(total_bits=bits, frac_bits=bits - 1)
+        out = float(quantize_fixed_point(np.array([value]), fmt)[0])
+        assert abs(out - value) <= fmt.scale / 2 + 1e-12
+
+    @given(st.lists(st.floats(-10, 10), min_size=1, max_size=20))
+    def test_idempotent(self, values):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=3)
+        once = quantize_fixed_point(np.array(values), fmt)
+        np.testing.assert_array_equal(quantize_fixed_point(once, fmt), once)
+
+
+class TestIntegerCodes:
+    def test_codes_match_scaled_values(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=4)
+        codes = quantize_to_integers(np.array([1.0, -0.5, 0.0625]), fmt)
+        np.testing.assert_array_equal(codes, [16, -8, 1])
+
+    def test_codes_saturate(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=0)
+        codes = quantize_to_integers(np.array([1000.0, -1000.0]), fmt)
+        np.testing.assert_array_equal(codes, [127, -128])
+
+    def test_codes_int32_dtype(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=0)
+        assert quantize_to_integers(np.zeros(3), fmt).dtype == np.int32

@@ -1,0 +1,45 @@
+"""Encoding descriptors."""
+
+import pytest
+
+from repro.arith.types import ENCODINGS, Encoding, encoding_by_name
+
+
+class TestRegistry:
+    def test_paper_encodings_present(self):
+        assert {"hbfp8", "bfloat16", "fixed8"} <= set(ENCODINGS)
+
+    def test_lookup_by_name(self):
+        assert encoding_by_name("hbfp8").name == "hbfp8"
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="bfloat16"):
+            encoding_by_name("fp64")
+
+
+class TestEncodingProperties:
+    def test_hbfp8_exponent_amortized_across_block(self):
+        enc = ENCODINGS["hbfp8"]
+        assert enc.exponent_overhead_bytes == pytest.approx(12 / 8 / 256)
+        assert enc.bytes_per_operand == pytest.approx(1.0 + 12 / 8 / 256)
+
+    def test_bfloat16_two_bytes(self):
+        assert ENCODINGS["bfloat16"].operand_bytes == 2.0
+
+    def test_fixed8_cannot_train(self):
+        assert not ENCODINGS["fixed8"].supports_training
+
+    def test_training_encodings(self):
+        assert ENCODINGS["hbfp8"].supports_training
+        assert ENCODINGS["bfloat16"].supports_training
+
+    def test_non_block_exponent_overhead(self):
+        enc = Encoding(
+            name="e", operand_bytes=2.0, multiplier_bits=8,
+            accumulator_bits=32, supports_training=True,
+            block_size=1, exponent_bits=8,
+        )
+        assert enc.exponent_overhead_bytes == 1.0
+
+    def test_hbfp8_accumulator_width(self):
+        assert ENCODINGS["hbfp8"].accumulator_bits == 25

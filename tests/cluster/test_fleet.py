@@ -1,0 +1,83 @@
+"""Fleet composition and the parameter server."""
+
+import pytest
+
+from repro.cluster.fleet import EquinoxFleet
+from repro.cluster.parameter_server import ParameterServer
+
+
+class TestParameterServer:
+    def test_round_composition(self):
+        server = ParameterServer(
+            network_bytes_per_s=1e9, update_ops_per_s=1e9,
+            gradient_bytes_per_weight=2.0, model_bytes_per_weight=2.0,
+        )
+        sync = server.round([0.01, 0.02], model_weights=1_000_000)
+        assert sync.compute_s == 0.02  # the barrier: slowest worker
+        assert sync.gather_s == pytest.approx(2 * 2e6 / 1e9)
+        assert sync.broadcast_s == pytest.approx(2 * 2e6 / 1e9)
+        assert sync.update_s == pytest.approx(2e6 / 1e9)
+        assert sync.total_s == pytest.approx(
+            sync.compute_s + sync.gather_s + sync.update_s + sync.broadcast_s
+        )
+
+    def test_communication_fraction(self):
+        server = ParameterServer(network_bytes_per_s=1e9)
+        fast = server.round([1.0], model_weights=1000)
+        assert fast.communication_fraction < 0.01
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            ParameterServer(network_bytes_per_s=0)
+        server = ParameterServer()
+        with pytest.raises(ValueError):
+            server.round([], model_weights=10)
+        with pytest.raises(ValueError):
+            server.round([1.0], model_weights=0)
+
+
+class TestFleet:
+    @pytest.fixture(scope="class")
+    def report(self):
+        fleet = EquinoxFleet(size=3)
+        return fleet.train(loads=[0.2, 0.5, 0.8], batches=4, local_steps=8)
+
+    def test_one_report_per_worker(self, report):
+        assert len(report.workers) == 3
+        assert [w.load for w in report.workers] == [0.2, 0.5, 0.8]
+
+    def test_busier_workers_harvest_less(self, report):
+        harvests = [w.training_top_s for w in report.workers]
+        assert harvests[0] > harvests[2]
+
+    def test_barrier_set_by_slowest_worker(self, report):
+        slowest = max(w.iteration_s for w in report.workers)
+        assert report.round.compute_s == pytest.approx(8 * slowest)
+
+    def test_fleet_throughput_positive_and_bounded(self, report):
+        independent = sum(w.training_top_s for w in report.workers)
+        assert 0 < report.fleet_training_top_s <= independent * 1.001
+        assert 0 < report.scaling_efficiency <= 1.0
+
+    def test_dedicated_equivalents(self, report):
+        assert report.dedicated_equivalents == pytest.approx(
+            report.fleet_training_top_s / report.dedicated_top_s
+        )
+        # Three moderately loaded inference accelerators harvest a
+        # nontrivial fraction of a dedicated training accelerator.
+        assert report.dedicated_equivalents > 0.5
+
+    def test_local_steps_amortize_communication(self):
+        fleet = EquinoxFleet(size=2)
+        tight = fleet.train(loads=[0.4, 0.4], batches=3, local_steps=1)
+        loose = fleet.train(loads=[0.4, 0.4], batches=3, local_steps=16)
+        assert loose.scaling_efficiency > tight.scaling_efficiency
+
+    def test_rejects_mismatched_loads(self):
+        fleet = EquinoxFleet(size=2)
+        with pytest.raises(ValueError):
+            fleet.train(loads=[0.5])
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            EquinoxFleet(size=0)

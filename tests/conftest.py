@@ -1,0 +1,53 @@
+"""Shared fixtures: small, fast accelerator configurations and models."""
+
+import pytest
+
+from repro.hw.config import AcceleratorConfig
+from repro.models.graph import GemmLayer, ModelSpec
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def tiny_config():
+    """A small design point that keeps simulations fast in tests."""
+    return AcceleratorConfig(
+        name="tiny", n=4, m=2, w=2, frequency_hz=1e9, encoding="hbfp8"
+    )
+
+
+@pytest.fixture
+def small_config():
+    """A mid-size point exercising multi-tile GEMMs."""
+    return AcceleratorConfig(
+        name="small", n=8, m=4, w=4, frequency_hz=1e9, encoding="hbfp8"
+    )
+
+
+@pytest.fixture
+def tiny_model():
+    """A two-step recurrent model matched to the tiny config."""
+    return ModelSpec(
+        name="tiny_rnn",
+        layers=(
+            GemmLayer(
+                name="cell", k=32, n_out=64, repeats=2,
+                simd_ops_per_sample=64.0,
+            ),
+        ),
+    )
+
+
+@pytest.fixture
+def tiny_mlp_model():
+    return ModelSpec(
+        name="tiny_mlp",
+        layers=(
+            GemmLayer(name="fc0", k=16, n_out=32, simd_ops_per_sample=32.0),
+            GemmLayer(name="fc1", k=32, n_out=8, simd_ops_per_sample=8.0),
+        ),
+    )

@@ -1,0 +1,70 @@
+"""Batch-formation policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.batching import AdaptiveBatching, StaticBatching, make_batching
+
+
+class TestStaticBatching:
+    def test_issues_only_full(self):
+        policy = StaticBatching(slots=8)
+        assert not policy.should_issue(7, oldest_wait_cycles=1e9)
+        assert policy.should_issue(8, oldest_wait_cycles=0)
+
+    def test_no_deadline(self):
+        assert StaticBatching(8).deadline_cycles(100.0) is None
+
+    def test_rejects_bad_slots(self):
+        with pytest.raises(ValueError):
+            StaticBatching(0)
+
+    @given(st.integers(0, 100), st.floats(0, 1e12))
+    def test_never_issues_partial(self, queued, wait):
+        policy = StaticBatching(slots=16)
+        assert policy.should_issue(queued, wait) == (queued >= 16)
+
+
+class TestAdaptiveBatching:
+    def test_issues_full_immediately(self):
+        policy = AdaptiveBatching(slots=8, timeout_cycles=100)
+        assert policy.should_issue(8, oldest_wait_cycles=0)
+
+    def test_issues_partial_at_timeout(self):
+        policy = AdaptiveBatching(slots=8, timeout_cycles=100)
+        assert not policy.should_issue(3, oldest_wait_cycles=99)
+        assert policy.should_issue(3, oldest_wait_cycles=100)
+
+    def test_never_issues_empty(self):
+        policy = AdaptiveBatching(slots=8, timeout_cycles=100)
+        assert not policy.should_issue(0, oldest_wait_cycles=1e9)
+
+    def test_deadline_is_arrival_plus_timeout(self):
+        policy = AdaptiveBatching(slots=8, timeout_cycles=100)
+        assert policy.deadline_cycles(40.0) == 140.0
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ValueError):
+            AdaptiveBatching(slots=8, timeout_cycles=0)
+
+    @given(st.integers(1, 32), st.floats(0, 1e9))
+    def test_formation_wait_bounded_by_timeout(self, queued, wait):
+        """The invariant Figure 11a rests on: no request waits in the
+        formation buffer beyond the threshold."""
+        policy = AdaptiveBatching(slots=33, timeout_cycles=500.0)
+        if wait >= 500.0:
+            assert policy.should_issue(queued, wait)
+
+
+class TestFactory:
+    def test_builds_static(self):
+        assert isinstance(make_batching("static", 8), StaticBatching)
+
+    def test_builds_adaptive(self):
+        policy = make_batching("adaptive", 8, timeout_cycles=50)
+        assert isinstance(policy, AdaptiveBatching)
+        assert policy.timeout_cycles == 50
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_batching("greedy", 8)

@@ -1,0 +1,57 @@
+"""Per-service hardware contexts."""
+
+import pytest
+
+from repro.core.contexts import ServiceContext
+from repro.hw.buffers import BufferCapacityError, OnChipBuffer
+from repro.hw.isa import Program, StepProgram
+
+
+@pytest.fixture
+def program():
+    return Program(name="p", steps=[StepProgram()], rows=4, useful_ops_per_row=1.0)
+
+
+@pytest.fixture
+def buffers(sim):
+    return (
+        OnChipBuffer(sim, "weight", 1000, 10),
+        OnChipBuffer(sim, "activation", 500, 10),
+    )
+
+
+class TestServiceContext:
+    def test_bind_reserves_both_buffers(self, program, buffers):
+        weight, activation = buffers
+        ctx = ServiceContext("inference", program)
+        ctx.bind_buffers(weight, activation, 600, 200)
+        assert weight.allocation_of("inference") == 600
+        assert activation.allocation_of("inference") == 200
+
+    def test_release_frees_space(self, program, buffers):
+        weight, activation = buffers
+        ctx = ServiceContext("inference", program)
+        ctx.bind_buffers(weight, activation, 600, 200)
+        ctx.release_buffers()
+        assert weight.free_bytes == 1000
+        assert activation.free_bytes == 500
+
+    def test_oversubscription_propagates(self, program, buffers):
+        weight, activation = buffers
+        ctx = ServiceContext("training", program)
+        with pytest.raises(BufferCapacityError):
+            ctx.bind_buffers(weight, activation, 2000, 10)
+
+    def test_two_contexts_space_share(self, program, buffers):
+        weight, activation = buffers
+        inference = ServiceContext("inference", program)
+        training = ServiceContext("training", program)
+        inference.bind_buffers(weight, activation, 900, 400)
+        training.bind_buffers(weight, activation, 100, 100)
+        assert weight.free_bytes == 0
+
+    def test_instruction_counters(self, program):
+        ctx = ServiceContext("inference", program)
+        ctx.instructions_issued = 10
+        ctx.instructions_completed = 7
+        assert ctx.instructions_outstanding == 3

@@ -1,0 +1,203 @@
+"""Request dispatcher and inference/training engines."""
+
+import pytest
+
+from repro.core.batching import AdaptiveBatching, StaticBatching
+from repro.core.dispatcher import InferenceEngine, RequestDispatcher, TrainingEngine
+from repro.core.scheduler import InferenceOnlyScheduler, PriorityScheduler
+from repro.hw.dram import HBMInterface
+from repro.hw.mmu import MatrixMultiplyUnit
+from repro.hw.simd import SIMDUnit
+from repro.models.compiler import TileCompiler
+
+
+class TestRequestDispatcher:
+    def test_full_batch_issues_immediately(self, sim):
+        formed = []
+        dispatcher = RequestDispatcher(
+            sim, StaticBatching(slots=3), on_batch=formed.append
+        )
+        for _ in range(3):
+            dispatcher.submit()
+        assert len(formed) == 1
+        assert formed[0].real_count == 3
+        assert not formed[0].is_padded
+
+    def test_static_never_times_out(self, sim):
+        formed = []
+        dispatcher = RequestDispatcher(
+            sim, StaticBatching(slots=4), on_batch=formed.append
+        )
+        dispatcher.submit()
+        sim.run(until=1e9)
+        assert formed == []
+        assert dispatcher.queue_size == 1
+
+    def test_adaptive_times_out_with_padding(self, sim):
+        formed = []
+        dispatcher = RequestDispatcher(
+            sim, AdaptiveBatching(slots=4, timeout_cycles=100), on_batch=formed.append
+        )
+        dispatcher.submit()
+        sim.run()
+        assert len(formed) == 1
+        assert formed[0].dummy_count == 3
+        assert formed[0].formed_cycle == 100.0
+        assert dispatcher.incomplete_batches == 1
+
+    def test_adaptive_timer_measures_oldest(self, sim):
+        formed = []
+        dispatcher = RequestDispatcher(
+            sim, AdaptiveBatching(slots=4, timeout_cycles=100), on_batch=formed.append
+        )
+        dispatcher.submit()
+        sim.at(60, dispatcher.submit)
+        sim.run()
+        assert formed[0].formed_cycle == 100.0
+        assert formed[0].real_count == 2
+
+    def test_burst_forms_multiple_batches(self, sim):
+        formed = []
+        dispatcher = RequestDispatcher(
+            sim, AdaptiveBatching(slots=2, timeout_cycles=100), on_batch=formed.append
+        )
+        for _ in range(5):
+            dispatcher.submit()
+        assert len(formed) == 2
+        assert dispatcher.queue_size == 1
+
+    def test_queue_decrease_hook(self, sim):
+        pokes = []
+        dispatcher = RequestDispatcher(
+            sim, StaticBatching(slots=2), on_batch=lambda b: None
+        )
+        dispatcher.on_queue_decrease = lambda: pokes.append(sim.now)
+        dispatcher.submit()
+        dispatcher.submit()
+        assert pokes == [0.0]
+
+    def test_flush_forces_partial(self, sim):
+        formed = []
+        dispatcher = RequestDispatcher(
+            sim, StaticBatching(slots=4), on_batch=formed.append
+        )
+        dispatcher.submit()
+        dispatcher.flush()
+        assert len(formed) == 1
+        assert formed[0].real_count == 1
+
+
+class _Bench:
+    """Wired datapath + engines around one compiled model."""
+
+    def __init__(self, sim, config, model, scheduler, training_model=None,
+                 training_batch=8):
+        compiler = TileCompiler(config, chunk_us=0.05)
+        self.program = compiler.compile_inference(model)
+        self.mmu = MatrixMultiplyUnit(sim, config)
+        self.simd = SIMDUnit(sim, config)
+        self.hbm = HBMInterface(sim, config)
+        self.engine = InferenceEngine(
+            sim, config, self.mmu, self.simd, self.program, scheduler
+        )
+        self.dispatcher = RequestDispatcher(
+            sim, AdaptiveBatching(self.program.rows, timeout_cycles=1000),
+            on_batch=self.engine.enqueue,
+        )
+        self.training = None
+        if training_model is not None:
+            train_prog = compiler.compile_training(
+                training_model, batch=training_batch
+            )
+            self.training = TrainingEngine(
+                sim, config, self.mmu, self.simd, self.hbm, train_prog,
+                scheduler, inference_queue_size=lambda: self.dispatcher.queue_size,
+            )
+        self.mmu.set_policy(scheduler, lambda: self.dispatcher.queue_size)
+
+
+class TestInferenceEngine:
+    def test_batch_completes_and_records_latency(self, sim, small_config, tiny_model):
+        bench = _Bench(sim, small_config, tiny_model, InferenceOnlyScheduler())
+        for _ in range(bench.program.rows):
+            bench.dispatcher.submit()
+        sim.run()
+        assert bench.engine.batches_completed == 1
+        assert bench.engine.latency.count == bench.program.rows
+        assert bench.engine.latency.max() > 0
+
+    def test_latency_includes_formation_wait(self, sim, small_config, tiny_model):
+        bench = _Bench(sim, small_config, tiny_model, InferenceOnlyScheduler())
+        bench.dispatcher.submit()  # lone request waits for the timeout
+        sim.run()
+        assert bench.engine.latency.max() >= 1000
+
+    def test_batches_complete_in_order(self, sim, small_config, tiny_model):
+        bench = _Bench(sim, small_config, tiny_model, InferenceOnlyScheduler())
+        for _ in range(3 * bench.program.rows):
+            bench.dispatcher.submit()
+        sim.run()
+        assert bench.engine.batches_completed == 3
+
+    def test_service_time_matches_analytic_chain(self, sim, small_config, tiny_model):
+        """Unloaded batch latency = occupancy + drains + SIMD tails."""
+        bench = _Bench(sim, small_config, tiny_model, InferenceOnlyScheduler())
+        for _ in range(bench.program.rows):
+            bench.dispatcher.submit()
+        sim.run()
+        drain = small_config.pipeline_drain_cycles
+        expected = sum(
+            step.mmu_cycles + drain + step.simd.cycles
+            for step in bench.program.steps
+        )
+        assert bench.engine.latency.max() == pytest.approx(expected, rel=0.01)
+
+
+class TestTrainingEngine:
+    def test_completes_iterations_on_idle_machine(self, sim, small_config, tiny_model):
+        bench = _Bench(
+            sim, small_config, tiny_model, PriorityScheduler(16),
+            training_model=tiny_model,
+        )
+        bench.training.start()
+        sim.run(until=5e5)
+        assert bench.training.iterations_completed >= 1
+
+    def test_respects_allows_training(self, sim, small_config, tiny_model):
+        bench = _Bench(
+            sim, small_config, tiny_model, InferenceOnlyScheduler(),
+            training_model=tiny_model,
+        )
+        bench.training.start()
+        sim.run(until=1e5)
+        assert bench.training.iterations_completed == 0
+
+    def test_double_start_rejected(self, sim, small_config, tiny_model):
+        bench = _Bench(
+            sim, small_config, tiny_model, PriorityScheduler(16),
+            training_model=tiny_model,
+        )
+        bench.training.start()
+        with pytest.raises(RuntimeError):
+            bench.training.start()
+
+    def test_training_streams_weights_from_dram(self, sim, small_config, tiny_model):
+        bench = _Bench(
+            sim, small_config, tiny_model, PriorityScheduler(16),
+            training_model=tiny_model,
+        )
+        bench.training.start()
+        sim.run(until=5e5)
+        assert bench.hbm.bytes_by_kind.get("train_stream", 0) > 0
+        assert bench.hbm.bytes_by_kind.get("param_sync", 0) > 0
+
+    def test_iterations_have_positive_duration(self, sim, small_config, tiny_model):
+        bench = _Bench(
+            sim, small_config, tiny_model, PriorityScheduler(16),
+            training_model=tiny_model,
+        )
+        bench.training.start()
+        sim.run(until=5e5)
+        assert all(
+            record.duration_cycles > 0 for record in bench.training.iterations
+        )

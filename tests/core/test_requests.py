@@ -1,0 +1,50 @@
+"""Request and batch records."""
+
+import pytest
+
+from repro.core.requests import Batch, InferenceRequest, TrainingIterationRecord
+
+
+class TestInferenceRequest:
+    def test_latency_requires_completion(self):
+        request = InferenceRequest(request_id=0, arrival_cycle=10.0)
+        with pytest.raises(ValueError):
+            _ = request.latency_cycles
+
+    def test_latency_computed(self):
+        request = InferenceRequest(request_id=0, arrival_cycle=10.0)
+        request.completion_cycle = 35.0
+        assert request.latency_cycles == 25.0
+
+    def test_formation_wait(self):
+        request = InferenceRequest(request_id=0, arrival_cycle=10.0)
+        request.batched_cycle = 18.0
+        assert request.formation_wait_cycles == 8.0
+
+
+class TestBatch:
+    def test_dummy_count(self):
+        requests = [InferenceRequest(i, 0.0) for i in range(3)]
+        batch = Batch(batch_id=0, requests=requests, slots=8)
+        assert batch.real_count == 3
+        assert batch.dummy_count == 5
+        assert batch.is_padded
+
+    def test_full_batch_unpadded(self):
+        requests = [InferenceRequest(i, 0.0) for i in range(4)]
+        batch = Batch(batch_id=0, requests=requests, slots=4)
+        assert not batch.is_padded
+
+    def test_complete_stamps_all_requests(self):
+        requests = [InferenceRequest(i, float(i)) for i in range(3)]
+        batch = Batch(batch_id=0, requests=requests, slots=4)
+        batch.complete(100.0)
+        assert batch.completion_cycle == 100.0
+        assert [r.latency_cycles for r in requests] == [100.0, 99.0, 98.0]
+
+
+class TestTrainingRecord:
+    def test_duration(self):
+        record = TrainingIterationRecord(0, start_cycle=10.0,
+                                         completion_cycle=110.0, useful_ops=5.0)
+        assert record.duration_cycles == 100.0

@@ -1,0 +1,59 @@
+"""Time-varying load profiles through one persistent accelerator."""
+
+import math
+
+import pytest
+
+from repro.core.equinox import EquinoxAccelerator
+from repro.hw.config import AcceleratorConfig
+
+
+@pytest.fixture
+def equinox(tiny_model):
+    config = AcceleratorConfig(name="bench", n=8, m=4, w=4, frequency_hz=1e9)
+    return EquinoxAccelerator(
+        config, tiny_model, training_model=tiny_model, training_batch=8,
+        chunk_us=0.05,
+    )
+
+
+class TestRunProfile:
+    def test_one_report_per_bucket(self, equinox):
+        reports = equinox.run_profile([0.3, 0.6, 0.3], dwell_s=2e-5)
+        assert len(reports) == 3
+        assert [r.load for r in reports] == [0.3, 0.6, 0.3]
+
+    def test_windows_cover_dwell(self, equinox):
+        dwell = 2e-5
+        reports = equinox.run_profile([0.5, 0.5], dwell_s=dwell)
+        for report in reports:
+            assert report.duration_s == pytest.approx(dwell, rel=0.01)
+
+    def test_arrivals_scale_with_load(self, equinox):
+        reports = equinox.run_profile([0.2, 0.8], dwell_s=5e-5)
+        assert reports[1].requests_submitted > 2 * reports[0].requests_submitted
+
+    def test_zero_load_bucket_trains_only(self, equinox):
+        reports = equinox.run_profile([0.0, 0.5], dwell_s=3e-5)
+        assert reports[0].requests_submitted == 0
+        assert math.isnan(reports[0].p99_latency_us)
+        assert reports[0].training_top_s > 0
+        assert reports[1].requests_submitted > 0
+
+    def test_spike_throttles_training_then_recovers(self, equinox):
+        # One overload bucket, then enough low-load buckets to drain
+        # the backlog it built.
+        reports = equinox.run_profile(
+            [0.2, 0.2, 1.1] + [0.2] * 5, dwell_s=4e-5, seed=3
+        )
+        base = reports[1].training_top_s
+        spike = reports[2].training_top_s
+        after = reports[-1].training_top_s
+        assert spike < 0.5 * base  # guard throttles the harvest
+        assert after > 0.5 * base  # round-robin resumes post-spike
+
+    def test_rejects_bad_inputs(self, equinox):
+        with pytest.raises(ValueError):
+            equinox.run_profile([], dwell_s=1e-5)
+        with pytest.raises(ValueError):
+            equinox.run_profile([0.5], dwell_s=0)

@@ -1,0 +1,81 @@
+"""Area (Eq. 1) and power (Eq. 2) models."""
+
+import pytest
+
+from repro.dse.area import accelerator_area_mm2, alu_area_mm2, fits_die
+from repro.dse.power import (
+    accelerator_power_w,
+    fits_power,
+    sram_bytes_per_cycle,
+)
+from repro.dse.tech import TSMC28
+
+
+class TestArea:
+    def test_eq1_terms(self):
+        breakdown = accelerator_area_mm2(4, 2, 2, "hbfp8")
+        alus = 2 * 16 * 2
+        assert breakdown.alu_mm2 == pytest.approx(
+            alus * TSMC28.encoding_costs("hbfp8").alu_area_um2 / 1e6
+        )
+        assert breakdown.sram_mm2 == TSMC28.sram_area_mm2
+        assert breakdown.dram_mm2 == TSMC28.dram_area_mm2
+        assert breakdown.total_mm2 == pytest.approx(
+            breakdown.alu_mm2 + breakdown.sram_mm2 + breakdown.dram_mm2
+        )
+
+    def test_area_scales_linearly_in_alus(self):
+        assert alu_area_mm2(4, 4, 4, "hbfp8") == pytest.approx(
+            2 * alu_area_mm2(4, 2, 4, "hbfp8")
+        )
+
+    def test_small_designs_fit(self):
+        assert fits_die(4, 2, 2, "hbfp8")
+
+    def test_huge_designs_rejected(self):
+        assert not fits_die(256, 64, 64, "hbfp8")
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(ValueError):
+            alu_area_mm2(0, 1, 1, "hbfp8")
+
+
+class TestPower:
+    def test_eq2_access_terms(self):
+        # w·n activations + m·w·n weights + m·n outputs, per cycle.
+        assert sram_bytes_per_cycle(4, 2, 3, operand_bytes=1.0) == (
+            3 * 4 + 2 * 3 * 4 + 2 * 4
+        )
+
+    def test_bfloat16_doubles_traffic(self):
+        assert sram_bytes_per_cycle(4, 2, 3, 2.0) == 2 * sram_bytes_per_cycle(
+            4, 2, 3, 1.0
+        )
+
+    def test_total_includes_static_and_dram(self):
+        power = accelerator_power_w(4, 2, 2, 1e9, "hbfp8")
+        assert power.dram_w == TSMC28.dram_power_w
+        assert power.sram_static_w == TSMC28.sram_static_w
+        assert power.total_w > power.alu_w
+
+    def test_power_grows_with_frequency(self):
+        low = accelerator_power_w(8, 4, 4, 532e6, "hbfp8").total_w
+        high = accelerator_power_w(8, 4, 4, 1200e6, "hbfp8").total_w
+        assert high > low
+
+    def test_data_movement_fraction_falls_with_n(self):
+        """The §4.2 mechanism: batching (larger n) amortizes buffer
+        energy, freeing power for ALUs."""
+        small_n = accelerator_power_w(1, 64, 8, 532e6, "hbfp8")
+        large_n = accelerator_power_w(64, 1, 8, 532e6, "hbfp8")
+        assert (
+            large_n.data_movement_fraction < small_n.data_movement_fraction
+        )
+
+    def test_fits_power_boundary(self):
+        assert fits_power(1, 1, 1, 532e6, "hbfp8")
+        assert not fits_power(128, 32, 32, 2400e6, "hbfp8")
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(ValueError):
+            accelerator_power_w(0, 1, 1, 1e9, "hbfp8")

@@ -1,0 +1,65 @@
+"""Performance model (Eq. 3) and the closed-form service time."""
+
+import pytest
+
+from repro.dse.performance import (
+    lstm_step_occupancy_cycles,
+    lstm_step_utilization,
+    peak_throughput_top_s,
+    service_time_cycles,
+    service_time_us,
+)
+from repro.hw.config import AcceleratorConfig
+from repro.models.compiler import compile_inference
+from repro.models.lstm import deepbench_lstm
+
+
+class TestEq3:
+    def test_formula(self):
+        assert peak_throughput_top_s(4, 2, 2, 1e9) == pytest.approx(
+            2 * 2 * 16 * 2 * 1e9 / 1e12
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            peak_throughput_top_s(0, 1, 1, 1e9)
+
+
+class TestServiceTime:
+    def test_matches_compiler_occupancy(self):
+        """The sweep's closed form and the tile compiler must agree on
+        per-step MMU occupancy for the probe LSTM."""
+        config = AcceleratorConfig(name="p", n=16, m=8, w=4, frequency_hz=610e6)
+        program = compile_inference(deepbench_lstm(), config)
+        closed_form = 25 * lstm_step_occupancy_cycles(16, 8, 4)
+        assert program.total_mmu_cycles == pytest.approx(closed_form)
+
+    def test_matches_facade_service_time(self):
+        """The closed form tracks the facade's analytic chain (both add
+        drain and SIMD tails) within a few percent."""
+        from repro.core.equinox import EquinoxAccelerator
+
+        config = AcceleratorConfig(
+            name="p", n=16, m=8, w=4, frequency_hz=610e6,
+        )
+        facade = EquinoxAccelerator(config, deepbench_lstm())
+        closed = service_time_cycles(16, 8, 4, simd_lanes=config.simd_lanes)
+        assert facade.batch_service_cycles() == pytest.approx(closed, rel=0.02)
+
+    def test_us_conversion(self):
+        cycles = service_time_cycles(8, 4, 4)
+        assert service_time_us(8, 4, 4, 1e9) == pytest.approx(cycles / 1e3)
+
+    def test_latency_grows_with_n_at_fixed_alus(self):
+        # Same ALU count, deeper batching -> longer service time.
+        t_small = service_time_us(8, 64, 4, 610e6)
+        t_large = service_time_us(64, 1, 4, 610e6)
+        assert t_large > t_small
+
+    def test_utilization_in_unit_interval(self):
+        for n, m, w in [(1, 100, 8), (16, 16, 4), (143, 2, 8)]:
+            assert 0 < lstm_step_utilization(n, m, w) <= 1.0
+
+    def test_exact_tiling_full_utilization(self):
+        # n·w divides 2048 and m·n divides 8192: no padding.
+        assert lstm_step_utilization(16, 32, 8) == pytest.approx(1.0)

@@ -1,0 +1,87 @@
+"""Technology model: voltage curve, unit energies, budgets."""
+
+import pytest
+
+from repro.dse.tech import (
+    F_MAX_HZ,
+    F_MIN_HZ,
+    FREQUENCY_GRID_HZ,
+    TSMC28,
+    V_MIN,
+    V_NOM,
+)
+
+
+class TestVoltageCurve:
+    def test_endpoints(self):
+        assert TSMC28.supply_voltage(F_MIN_HZ) == pytest.approx(V_MIN)
+        assert TSMC28.supply_voltage(F_MAX_HZ) == pytest.approx(V_NOM)
+
+    def test_monotone_over_grid(self):
+        voltages = [TSMC28.supply_voltage(f) for f in FREQUENCY_GRID_HZ]
+        assert voltages == sorted(voltages)
+
+    def test_steep_near_threshold(self):
+        """The first step up from the floor costs proportionally more
+        voltage than a step near nominal — what pins SRAM-bound designs
+        at 532 MHz (Table 1)."""
+        low_slope = (
+            TSMC28.supply_voltage(610e6) - TSMC28.supply_voltage(532e6)
+        ) / (610e6 - 532e6)
+        high_slope = (
+            TSMC28.supply_voltage(2400e6) - TSMC28.supply_voltage(2000e6)
+        ) / (2400e6 - 2000e6)
+        assert low_slope > high_slope
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            TSMC28.supply_voltage(100e6)
+
+    def test_energy_scale_quadratic_in_voltage(self):
+        for f in FREQUENCY_GRID_HZ:
+            v = TSMC28.supply_voltage(f)
+            assert TSMC28.energy_scale(f) == pytest.approx((v / V_NOM) ** 2)
+
+
+class TestUnitCosts:
+    def test_bfloat16_alus_denser_penalty(self):
+        """Fixed point enjoys a large density advantage over floating
+        point (paper §2.1): ~6x in both area and energy here."""
+        hbfp = TSMC28.encoding_costs("hbfp8")
+        bf16 = TSMC28.encoding_costs("bfloat16")
+        assert 4 <= bf16.alu_area_um2 / hbfp.alu_area_um2 <= 8
+        assert 4 <= bf16.alu_energy_nominal_j / hbfp.alu_energy_nominal_j <= 8
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(KeyError):
+            TSMC28.encoding_costs("fp64")
+
+    def test_energies_scale_with_frequency(self):
+        low = TSMC28.alu_energy_j("hbfp8", 532e6)
+        high = TSMC28.alu_energy_j("hbfp8", 2400e6)
+        assert high > low
+        assert high == pytest.approx(0.54e-12)
+
+    def test_sram_energy_dominates_alu_at_floor(self):
+        """e_sram ≈ 5-7x e_alu(hbfp8): the ratio that creates the ~6.6x
+        n=1 -> n=inf throughput span of Table 1."""
+        e_alu = TSMC28.alu_energy_j("hbfp8", 532e6)
+        e_byte = TSMC28.sram_energy_j_per_byte(532e6)
+        assert 5 <= e_byte / e_alu <= 8
+
+
+class TestBudgets:
+    def test_die_split_leaves_alu_area(self):
+        assert TSMC28.alu_area_budget_mm2() == pytest.approx(
+            300.0 - TSMC28.sram_area_mm2 - 46.9
+        )
+        assert TSMC28.alu_area_budget_mm2() > 150
+
+    def test_power_split_leaves_dynamic_budget(self):
+        assert TSMC28.dynamic_power_budget_w() == pytest.approx(
+            75.0 - 28.6 - TSMC28.sram_static_w
+        )
+
+    def test_sram_area_near_table3(self):
+        # 70 MB of weight+activation buffers -> ~64 mm² in Table 3.
+        assert 70 * TSMC28.sram_area_mm2_per_mb == pytest.approx(64.2, rel=0.02)

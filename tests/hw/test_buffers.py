@@ -1,0 +1,74 @@
+"""On-chip buffers: space-sharing and shared-port contention."""
+
+import pytest
+
+from repro.hw.buffers import BufferCapacityError, OnChipBuffer
+
+
+@pytest.fixture
+def buffer(sim):
+    return OnChipBuffer(sim, "weight", capacity_bytes=1000, port_bytes_per_cycle=10)
+
+
+class TestSpaceSharing:
+    def test_allocate_and_free(self, buffer):
+        buffer.allocate("inference", 600)
+        assert buffer.allocated_bytes == 600
+        assert buffer.free_bytes == 400
+        buffer.release("inference")
+        assert buffer.free_bytes == 1000
+
+    def test_oversubscription_rejected(self, buffer):
+        buffer.allocate("inference", 900)
+        with pytest.raises(BufferCapacityError):
+            buffer.allocate("training", 200)
+
+    def test_duplicate_context_rejected(self, buffer):
+        buffer.allocate("inference", 100)
+        with pytest.raises(ValueError):
+            buffer.allocate("inference", 100)
+
+    def test_exclusive_slices(self, buffer):
+        buffer.allocate("inference", 600)
+        buffer.allocate("training", 20)  # the <2% staging slice
+        assert buffer.allocation_of("inference") == 600
+        assert buffer.allocation_of("training") == 20
+
+    def test_release_unknown_is_noop(self, buffer):
+        buffer.release("nobody")
+
+    def test_rejects_negative_allocation(self, buffer):
+        with pytest.raises(ValueError):
+            buffer.allocate("x", -1)
+
+    def test_rejects_bad_construction(self, sim):
+        with pytest.raises(ValueError):
+            OnChipBuffer(sim, "b", capacity_bytes=0, port_bytes_per_cycle=1)
+
+
+class TestSharedPort:
+    def test_write_occupies_port(self, sim, buffer):
+        done = []
+        buffer.port_write(100, on_done=lambda: done.append(sim.now))
+        sim.run()
+        assert done == [10.0]
+
+    def test_writes_serialize(self, sim, buffer):
+        done = []
+        buffer.port_write(100, on_done=lambda: done.append(sim.now))
+        buffer.port_write(50, on_done=lambda: done.append(sim.now))
+        sim.run()
+        assert done == [10.0, 15.0]
+
+    def test_priority_on_shared_port(self, sim, buffer):
+        done = []
+        buffer.port_write(100)
+        buffer.port_write(10, priority=1, on_done=lambda: done.append("train"))
+        buffer.port_write(10, priority=0, on_done=lambda: done.append("host"))
+        sim.run()
+        assert done == ["host", "train"]
+
+    def test_port_utilization(self, sim, buffer):
+        buffer.port_write(100)
+        sim.run(until=20)
+        assert buffer.port_utilization() == pytest.approx(0.5)

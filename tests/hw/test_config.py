@@ -1,0 +1,79 @@
+"""Accelerator configuration and derived geometry."""
+
+import pytest
+
+from repro.hw.config import MB, AcceleratorConfig, DRAMSpec, SRAMBudget
+
+
+class TestValidation:
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(name="x", n=0, m=1, w=1, frequency_hz=1e9)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(name="x", n=1, m=1, w=1, frequency_hz=0)
+
+    def test_rejects_unknown_encoding(self):
+        with pytest.raises(KeyError):
+            AcceleratorConfig(
+                name="x", n=1, m=1, w=1, frequency_hz=1e9, encoding="fp64"
+            )
+
+
+class TestDerivedGeometry:
+    def test_tile_and_column_group(self, small_config):
+        assert small_config.tile_k == 8 * 4
+        assert small_config.column_group == 4 * 8
+
+    def test_total_alus(self, small_config):
+        assert small_config.total_alus == 4 * 8 * 8 * 4
+
+    def test_peak_throughput_eq3(self, small_config):
+        # T = 2·m·n²·w·f (paper Eq. 3).
+        expected = 2 * 4 * 64 * 4 * 1e9
+        assert small_config.peak_throughput_ops == pytest.approx(expected)
+        assert small_config.peak_throughput_top_s == pytest.approx(expected / 1e12)
+
+    def test_pipeline_drain(self, small_config):
+        assert small_config.pipeline_drain_cycles == 8 * 4 + 2 * 8
+
+    def test_staging_is_small_fraction(self, tiny_config):
+        # Paper §2.2: training staging uses under 2% of on-chip SRAM.
+        assert tiny_config.staging_bytes == pytest.approx(
+            0.02 * tiny_config.sram.total_bytes
+        )
+
+    def test_dram_conversions(self, tiny_config):
+        assert tiny_config.dram_bytes_per_cycle == pytest.approx(1e12 / 1e9)
+        assert tiny_config.dram_latency_cycles == pytest.approx(100.0)
+
+
+class TestUnitConversions:
+    def test_cycles_seconds_roundtrip(self, tiny_config):
+        assert tiny_config.seconds_to_cycles(
+            tiny_config.cycles_to_seconds(12345)
+        ) == pytest.approx(12345)
+
+    def test_us_roundtrip(self, tiny_config):
+        assert tiny_config.us_to_cycles(tiny_config.cycles_to_us(777)) == pytest.approx(
+            777
+        )
+
+
+class TestBudgets:
+    def test_sram_default_partitioning_matches_paper(self):
+        budget = SRAMBudget()
+        assert budget.activation_bytes == 20 * MB
+        assert budget.weight_bytes == 50 * MB
+        assert budget.simd_rf_bytes == 5 * MB
+        assert budget.instruction_bytes == 32 * 1024
+
+    def test_sram_total(self):
+        budget = SRAMBudget()
+        assert budget.total_bytes == pytest.approx(75 * MB + 32 * 1024, rel=1e-6)
+
+    def test_dram_default_is_one_hbm_stack(self):
+        spec = DRAMSpec()
+        assert spec.bandwidth_bytes_per_s == 1e12
+        assert spec.block_bytes == 64

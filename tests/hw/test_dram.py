@@ -1,0 +1,62 @@
+"""HBM interface model."""
+
+import pytest
+
+from repro.hw.dram import HBMInterface, PRIORITY_INFERENCE, PRIORITY_TRAINING
+
+
+@pytest.fixture
+def hbm(sim, tiny_config):
+    return HBMInterface(sim, tiny_config)
+
+
+class TestTransfers:
+    def test_block_alignment_rounds_up(self, sim, hbm):
+        hbm.transfer(100, kind="x")
+        sim.run()
+        assert hbm.bytes_by_kind["x"] == 128  # two 64 B blocks
+
+    def test_zero_transfer_completes_immediately(self, sim, hbm):
+        done = []
+        hbm.transfer(0, on_done=lambda: done.append(sim.now))
+        sim.run()
+        assert done == [0.0]
+
+    def test_completion_includes_latency(self, sim, hbm, tiny_config):
+        done = []
+        hbm.transfer(64 * 1000, on_done=lambda: done.append(sim.now))
+        sim.run()
+        serialization = 64 * 1000 / tiny_config.dram_bytes_per_cycle
+        expected = serialization + tiny_config.dram_latency_cycles
+        assert done[0] == pytest.approx(expected)
+
+    def test_inference_priority_preempts_queue(self, sim, hbm):
+        done = []
+        hbm.transfer(64 * 100)  # occupies the channel
+        hbm.transfer(64, kind="train", priority=PRIORITY_TRAINING,
+                     on_done=lambda: done.append("train"))
+        hbm.transfer(64, kind="inf", priority=PRIORITY_INFERENCE,
+                     on_done=lambda: done.append("inf"))
+        sim.run()
+        assert done == ["inf", "train"]
+
+    def test_bytes_by_kind_accumulates(self, sim, hbm):
+        hbm.transfer(64, kind="a")
+        hbm.transfer(64, kind="a")
+        hbm.transfer(64, kind="b")
+        sim.run()
+        assert hbm.bytes_by_kind == {"a": 128.0, "b": 64.0}
+
+    def test_achieved_bandwidth(self, sim, hbm, tiny_config):
+        hbm.transfer(tiny_config.dram_bytes_per_cycle * 50)
+        sim.run(until=100)
+        # Half the window busy, so half the pin rate (modulo the final
+        # block's round-up).
+        assert hbm.achieved_gb_s(100) == pytest.approx(
+            tiny_config.dram.bandwidth_bytes_per_s / 2 / 1e9, rel=0.01
+        )
+
+    def test_utilization_caps_at_one(self, sim, hbm, tiny_config):
+        hbm.transfer(tiny_config.dram_bytes_per_cycle * 100)
+        sim.run()
+        assert hbm.utilization() <= 1.0

@@ -1,0 +1,89 @@
+"""Host interface and service installation."""
+
+import pytest
+
+from repro.hw.host import HostInterface, HostLinkSpec, ServiceInstallationError
+from repro.hw.instructions import assemble_inference, assemble_training
+from repro.models.lstm import deepbench_lstm
+
+
+@pytest.fixture
+def host(sim, small_config):
+    return HostInterface(sim, small_config)
+
+
+class TestInstallation:
+    def test_install_transfers_code_and_model(self, sim, host, small_config):
+        model = deepbench_lstm(hidden=256, steps=2)
+        image = assemble_inference(model, small_config)
+        launched = []
+        host.install("inference", model, image,
+                     on_launched=lambda: launched.append(sim.now))
+        sim.run()
+        assert launched and launched[0] > 0
+        assert host.services["inference"].is_launched
+        assert host.installation_time_s("inference") > 0
+
+    def test_installation_time_scales_with_model(self, sim, small_config):
+        times = []
+        for hidden in (128, 1024):
+            host = HostInterface(sim, small_config)
+            model = deepbench_lstm(hidden=hidden, steps=2)
+            host.install("inference", model,
+                         assemble_inference(model, small_config))
+            sim.run()
+            times.append(host.installation_time_s("inference"))
+        assert times[1] > times[0]
+
+    def test_training_install_skips_weight_upload(self, sim, host, small_config):
+        """Training weights stay DRAM-resident (paper §2.2): only the
+        instruction image crosses the link at install time."""
+        model = deepbench_lstm(hidden=256, steps=2)
+        host.install("training", model,
+                     assemble_training(model, small_config))
+        sim.run()
+        install_cycles = host.services["training"].install_completed_cycle
+        image_bytes = host.services["training"].image.bytes
+        per_cycle = host.link.bandwidth_bytes_per_s / small_config.frequency_hz
+        expected = image_bytes / per_cycle + host.link.latency_us * 1e-6 * small_config.frequency_hz
+        assert install_cycles == pytest.approx(expected, rel=0.01)
+
+    def test_duplicate_service_rejected(self, host, small_config):
+        model = deepbench_lstm(hidden=128, steps=2)
+        image = assemble_inference(model, small_config)
+        host.install("inference", model, image)
+        with pytest.raises(ServiceInstallationError):
+            host.install("inference", model, image)
+
+    def test_oversized_model_rejected(self, host, small_config):
+        # 16k hidden -> 4 GiB of weights, far beyond the 50 MB buffer.
+        model = deepbench_lstm(hidden=16384, steps=2)
+        with pytest.raises(ServiceInstallationError, match="weight buffer"):
+            host.install(
+                "inference", model, assemble_inference(model, small_config)
+            )
+
+    def test_uninstall_frees_slot(self, host, small_config):
+        model = deepbench_lstm(hidden=128, steps=2)
+        image = assemble_inference(model, small_config)
+        host.install("inference", model, image)
+        host.uninstall("inference")
+        host.install("inference", model, image)
+
+
+class TestRequestTraffic:
+    def test_request_response_accounting(self, sim, host):
+        host.request_in(4096)
+        host.response_out(1024)
+        sim.run()
+        assert host.request_bytes_in == 4096
+        assert host.response_bytes_out == 1024
+
+    def test_link_latency_applied(self, sim, host, small_config):
+        done = []
+        host.request_in(0.0, on_done=lambda: done.append(sim.now))
+        host.request_in(32_000, on_done=lambda: done.append(sim.now))
+        sim.run()
+        latency = HostLinkSpec().latency_us * 1e-6 * small_config.frequency_hz
+        assert done[0] >= 0
+        assert done[1] >= latency

@@ -1,0 +1,89 @@
+"""LSTM / GRU / ResNet50 / MLP model builders."""
+
+import pytest
+
+from repro.models.gru import deepbench_gru
+from repro.models.lstm import deepbench_lstm
+from repro.models.mlp import mlp
+from repro.models.resnet import resnet50
+
+
+class TestLSTM:
+    def test_paper_defaults(self):
+        spec = deepbench_lstm()
+        (cell,) = spec.layers
+        assert cell.k == 2048
+        assert cell.n_out == 4 * 2048
+        assert cell.repeats == 25
+
+    def test_macs_per_sample(self):
+        spec = deepbench_lstm()
+        assert spec.macs_per_sample == 2048 * 8192 * 25
+
+    def test_weights_fit_on_chip_in_hbfp8(self):
+        # The inference service keeps weights SRAM-resident (50 MB).
+        assert deepbench_lstm().weight_bytes(1.0) < 50 * 1024 * 1024
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            deepbench_lstm(hidden=0)
+
+
+class TestGRU:
+    def test_paper_defaults(self):
+        spec = deepbench_gru()
+        (cell,) = spec.layers
+        assert cell.k == 2816
+        assert cell.n_out == 3 * 2816
+        assert cell.repeats == 1500
+
+    def test_service_time_two_orders_above_lstm(self):
+        # GRU's dependency chain is 60x longer with bigger steps.
+        gru, lstm = deepbench_gru(), deepbench_lstm()
+        assert gru.macs_per_sample > 50 * lstm.macs_per_sample
+
+
+class TestResNet50:
+    def test_layer_count(self):
+        spec = resnet50()
+        # stem + 16 blocks x 3 convs + 4 shortcuts + fc = 54 GEMMs.
+        assert len(spec.layers) == 1 + 16 * 3 + 4 + 1
+
+    def test_total_macs_near_published(self):
+        # ResNet50 forward is ~4 GMACs at 224x224 (conv+fc GEMMs).
+        spec = resnet50()
+        assert spec.macs_per_sample == pytest.approx(4.1e9, rel=0.15)
+
+    def test_all_layers_tall_mode(self):
+        assert all(layer.mode == "tall" for layer in resnet50().layers)
+
+    def test_spatial_dims_flow(self):
+        spec = resnet50()
+        by_name = {layer.name: layer for layer in spec.layers}
+        # conv1 on 224² stride 2 -> 112² positions.
+        assert by_name["conv1"].rows_per_sample == 112 * 112
+        # conv5 stage works on 7².
+        assert by_name["conv5_3_3x3"].rows_per_sample == 49
+
+    def test_classifier_shape(self):
+        fc = resnet50().layers[-1]
+        assert fc.k == 2048
+        assert fc.n_out == 1000
+
+    def test_rejects_tiny_images(self):
+        with pytest.raises(ValueError):
+            resnet50(image_size=16)
+
+
+class TestMLP:
+    def test_builds_chain(self):
+        spec = mlp([512, 1024, 64])
+        assert [(l.k, l.n_out) for l in spec.layers] == [(512, 1024), (1024, 64)]
+
+    def test_rejects_single_width(self):
+        with pytest.raises(ValueError):
+            mlp([512])
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            mlp([512, 0])

@@ -1,0 +1,85 @@
+"""Functional model execution under the quantized datapaths."""
+
+import numpy as np
+import pytest
+
+from repro.models.functional import (
+    FunctionalLSTMCell,
+    FunctionalMLP,
+    relative_output_error,
+)
+
+
+class TestFunctionalLSTM:
+    def _pair(self, encoding, hidden=64, seed=0):
+        return (
+            FunctionalLSTMCell(hidden, "fp32", np.random.default_rng(seed)),
+            FunctionalLSTMCell(hidden, encoding, np.random.default_rng(seed)),
+        )
+
+    def test_state_shapes(self):
+        cell = FunctionalLSTMCell(32)
+        state = cell.initial_state(batch=4)
+        out = cell.step(state)
+        assert out.h.shape == (4, 32)
+        assert out.c.shape == (4, 32)
+
+    def test_states_stay_bounded(self):
+        """Gate saturation keeps h in (-1, 1) over long sequences."""
+        cell = FunctionalLSTMCell(32, "hbfp8")
+        h = cell.run(np.random.default_rng(1).standard_normal((4, 32)), steps=50)
+        assert np.abs(h).max() <= 1.0
+
+    def test_hbfp8_tracks_fp32_over_sequence(self):
+        """The numeric counterpart of Figure 2: 25 recurrent steps on
+        the hbfp8 datapath stay close to fp32."""
+        exact, quant = self._pair("hbfp8")
+        x = np.random.default_rng(2).standard_normal((8, 64)).astype(np.float32)
+        err = relative_output_error(exact.run(x, 25), quant.run(x, 25))
+        assert err < 0.15
+
+    def test_bfloat16_tracks_fp32(self):
+        exact, quant = self._pair("bfloat16")
+        x = np.random.default_rng(3).standard_normal((8, 64)).astype(np.float32)
+        err = relative_output_error(exact.run(x, 25), quant.run(x, 25))
+        assert err < 0.15
+
+    def test_identical_seeds_identical_weights(self):
+        a, b = self._pair("fp32")
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            FunctionalLSTMCell(0)
+        with pytest.raises(ValueError):
+            FunctionalLSTMCell(8).run(np.zeros((1, 8)), steps=0)
+
+
+class TestFunctionalMLP:
+    def test_forward_shape(self):
+        mlp = FunctionalMLP([16, 32, 4])
+        assert mlp.run(np.zeros((5, 16))).shape == (5, 4)
+
+    def test_hbfp8_close_to_fp32(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((16, 32)).astype(np.float32)
+        exact = FunctionalMLP([32, 64, 8], "fp32", np.random.default_rng(7))
+        quant = FunctionalMLP([32, 64, 8], "hbfp8", np.random.default_rng(7))
+        assert relative_output_error(exact.run(x), quant.run(x)) < 0.1
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            FunctionalMLP([16])
+
+
+class TestRelativeError:
+    def test_zero_for_identical(self):
+        x = np.ones((3, 3))
+        assert relative_output_error(x, x) == 0.0
+
+    def test_normalized_by_reference_scale(self):
+        ref = np.full((2, 2), 10.0)
+        assert relative_output_error(ref, ref + 1.0) == pytest.approx(0.1)
+
+    def test_zero_reference(self):
+        assert relative_output_error(np.zeros((2, 2)), np.ones((2, 2))) == 1.0

@@ -1,0 +1,66 @@
+"""Layer-graph IR."""
+
+import pytest
+
+from repro.models.graph import GemmLayer, ModelSpec
+
+
+class TestGemmLayer:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            GemmLayer(name="x", k=0, n_out=4)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            GemmLayer(name="x", k=4, n_out=4, mode="diagonal")
+
+    def test_weight_count(self):
+        layer = GemmLayer(name="x", k=8, n_out=16, repeats=3)
+        assert layer.weight_count == 128  # shared across repeats
+
+    def test_macs_per_sample(self):
+        layer = GemmLayer(name="x", k=8, n_out=16, rows_per_sample=2, repeats=3)
+        assert layer.macs_per_sample == 2 * 8 * 16 * 3
+
+
+class TestModelSpec:
+    def _spec(self):
+        return ModelSpec(
+            name="m",
+            layers=(
+                GemmLayer(name="a", k=8, n_out=16, repeats=2),
+                GemmLayer(name="b", k=16, n_out=4),
+            ),
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ModelSpec(name="m", layers=())
+
+    def test_totals(self):
+        spec = self._spec()
+        assert spec.weight_count == 8 * 16 + 16 * 4
+        assert spec.macs_per_sample == 8 * 16 * 2 + 16 * 4
+        assert spec.ops_per_sample == 2 * spec.macs_per_sample
+        assert spec.step_count == 3
+
+    def test_weight_bytes_scales_with_encoding(self):
+        spec = self._spec()
+        assert spec.weight_bytes(2.0) == 2 * spec.weight_count
+
+    def test_recurrent_detection(self):
+        assert self._spec().is_recurrent
+        flat = ModelSpec(name="f", layers=(GemmLayer(name="a", k=4, n_out=4),))
+        assert not flat.is_recurrent
+
+    def test_vector_models_batch_to_n(self):
+        assert self._spec().inference_batch(64) == 64
+
+    def test_tall_models_use_conv_hint(self):
+        spec = ModelSpec(
+            name="cnn",
+            layers=(GemmLayer(name="c", k=9, n_out=8, rows_per_sample=49,
+                              mode="tall"),),
+            conv_batch_hint=8,
+        )
+        assert spec.inference_batch(143) == 8

@@ -1,0 +1,58 @@
+"""Training plans and the dedicated-accelerator reference."""
+
+import pytest
+
+from repro.models.training import DRAM_STREAM_EFFICIENCY, build_training_plan
+from repro.models.lstm import deepbench_lstm
+
+
+class TestTrainingPlan:
+    @pytest.fixture
+    def plan(self, small_config):
+        return build_training_plan(
+            deepbench_lstm(hidden=256, steps=4), small_config, batch=16
+        )
+
+    def test_intensity_positive(self, plan):
+        assert plan.arithmetic_intensity > 0
+
+    def test_dedicated_is_min_of_bounds(self, plan):
+        dedicated = plan.dedicated_throughput_top_s()
+        assert dedicated == pytest.approx(
+            min(plan.compute_bound_top_s(), plan.dram_bound_top_s()), rel=1e-6
+        )
+
+    def test_compute_bound_below_peak(self, plan, small_config):
+        # Tiling losses keep useful throughput under Eq. 3 peak.
+        assert plan.compute_bound_top_s() <= small_config.peak_throughput_top_s
+
+    def test_dram_bound_uses_stream_efficiency(self, plan, small_config):
+        effective = (
+            small_config.dram.bandwidth_bytes_per_s * DRAM_STREAM_EFFICIENCY
+        )
+        expected = plan.arithmetic_intensity * effective / 1e12
+        assert plan.dram_bound_top_s() == pytest.approx(expected, rel=1e-6)
+
+    def test_is_dram_bound_consistent(self, plan):
+        assert plan.is_dram_bound == (
+            plan.dram_cycles() >= plan.compute_cycles()
+        )
+
+    def test_paper_scale_lstm_is_dram_bound(self):
+        """At the paper's scale (batch 128 vs hundreds of TOp/s of
+        compute), LSTM training is bound by HBM bandwidth — the §2.2
+        observation Equinox's whole premise rests on."""
+        from repro.dse.table1 import equinox_configuration
+
+        plan = build_training_plan(
+            deepbench_lstm(), equinox_configuration("none"), batch=128
+        )
+        assert plan.is_dram_bound
+        # Max training throughput lands near the paper's ~107 TOp/s.
+        assert 80 <= plan.dedicated_throughput_top_s() <= 160
+
+    def test_bigger_batch_raises_intensity(self, small_config):
+        model = deepbench_lstm(hidden=256, steps=4)
+        small = build_training_plan(model, small_config, batch=8)
+        large = build_training_plan(model, small_config, batch=64)
+        assert large.arithmetic_intensity > small.arithmetic_intensity

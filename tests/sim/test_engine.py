@@ -1,0 +1,114 @@
+"""Event queue and simulator kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_runs_event_at_time(self, sim):
+        fired = []
+        sim.at(10, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [10.0]
+
+    def test_after_is_relative(self, sim):
+        sim.at(5, lambda: sim.after(3, lambda: setattr(sim, "_t", sim.now)))
+        sim.run()
+        assert sim._t == 8.0
+
+    def test_rejects_past_scheduling(self, sim):
+        sim.at(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(5, lambda: None)
+
+    def test_rejects_negative_delay(self, sim):
+        with pytest.raises(ValueError):
+            sim.after(-1, lambda: None)
+
+    def test_same_time_events_fire_in_schedule_order(self, sim):
+        order = []
+        sim.at(7, lambda: order.append("first"))
+        sim.at(7, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.at(3, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_zero_delay_fires_at_current_time(self, sim):
+        order = []
+        sim.at(4, lambda: sim.after(0, lambda: order.append(sim.now)))
+        sim.run()
+        assert order == [4.0]
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    def test_events_execute_in_time_order(self, times):
+        sim = Simulator()
+        seen = []
+        for t in times:
+            sim.at(t, lambda t=t: seen.append(t))
+        sim.run()
+        assert seen == sorted(times)
+
+
+class TestRunControl:
+    def test_until_is_inclusive(self, sim):
+        fired = []
+        sim.at(5, lambda: fired.append(1))
+        sim.run(until=5)
+        assert fired == [1]
+
+    def test_until_stops_later_events(self, sim):
+        fired = []
+        sim.at(5, lambda: fired.append(1))
+        sim.at(6, lambda: fired.append(2))
+        sim.run(until=5)
+        assert fired == [1]
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_until_advances_clock_without_events(self, sim):
+        sim.run(until=100)
+        assert sim.now == 100.0
+
+    def test_max_events_limits_processing(self, sim):
+        fired = []
+        for t in range(10):
+            sim.at(t, lambda: fired.append(1))
+        sim.run(max_events=4)
+        assert len(fired) == 4
+
+    def test_events_processed_counter(self, sim):
+        for t in range(5):
+            sim.at(t, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_peek_skips_cancelled(self, sim):
+        first = sim.at(1, lambda: None)
+        sim.at(2, lambda: None)
+        first.cancel()
+        assert sim.peek() == 2.0
+
+    def test_peek_empty(self, sim):
+        assert sim.peek() is None
+
+    def test_self_rescheduling_chain(self, sim):
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5:
+                sim.after(10, tick)
+
+        sim.after(10, tick)
+        sim.run()
+        assert count[0] == 5
+        assert sim.now == 50.0

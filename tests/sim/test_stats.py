@@ -1,0 +1,127 @@
+"""Latency, throughput and cycle-accounting collectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import (
+    CYCLE_CATEGORIES,
+    CycleAccounting,
+    LatencyStats,
+    ThroughputMeter,
+)
+
+
+class TestLatencyStats:
+    def test_percentile_of_known_distribution(self):
+        stats = LatencyStats()
+        for v in range(1, 101):
+            stats.record(float(v))
+        assert stats.percentile(50) == pytest.approx(50.5)
+        assert stats.p99() == pytest.approx(99.01)
+
+    def test_mean_and_max(self):
+        stats = LatencyStats()
+        for v in (1.0, 2.0, 9.0):
+            stats.record(v)
+        assert stats.mean() == pytest.approx(4.0)
+        assert stats.max() == 9.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            LatencyStats().p99()
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LatencyStats().record(-1.0)
+
+    @given(st.lists(st.floats(0, 1e9), min_size=1, max_size=200))
+    def test_percentiles_bounded_by_extremes(self, values):
+        stats = LatencyStats()
+        for v in values:
+            stats.record(v)
+        assert min(values) <= stats.p99() <= max(values)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=2, max_size=100))
+    def test_percentiles_monotone_in_q(self, values):
+        stats = LatencyStats()
+        for v in values:
+            stats.record(v)
+        assert stats.percentile(50) <= stats.percentile(90) <= stats.percentile(99)
+
+
+class TestThroughputMeter:
+    def test_top_s_conversion(self):
+        meter = ThroughputMeter()
+        meter.record(1e9, cycle=10)
+        # 1e9 ops over 1e6 cycles at 1 GHz = 1e12 op/s = 1 TOp/s.
+        assert meter.top_s(1e6, 1e9) == pytest.approx(1.0)
+
+    def test_accumulates(self):
+        meter = ThroughputMeter()
+        meter.record(5.0, 1)
+        meter.record(7.0, 2)
+        assert meter.total_ops == 12.0
+
+    def test_zero_horizon(self):
+        assert ThroughputMeter().ops_per_cycle(0) == 0.0
+
+    def test_rejects_negative_ops(self):
+        with pytest.raises(ValueError):
+            ThroughputMeter().record(-1, 0)
+
+
+class TestCycleAccounting:
+    def test_breakdown_sums_to_one(self):
+        acct = CycleAccounting()
+        acct.add("working", 30)
+        acct.add("dummy", 20)
+        acct.add("other", 10)
+        breakdown = acct.breakdown(100)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert breakdown["idle"] == pytest.approx(0.4)
+
+    def test_categories_match_figure8(self):
+        acct = CycleAccounting()
+        breakdown = acct.breakdown(10)
+        assert set(breakdown) == set(CYCLE_CATEGORIES)
+
+    def test_idle_cannot_be_recorded(self):
+        with pytest.raises(ValueError):
+            CycleAccounting().add("idle", 1)
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            CycleAccounting().add("sleeping", 1)
+
+    def test_overflow_detected(self):
+        acct = CycleAccounting()
+        acct.add("working", 200)
+        with pytest.raises(ValueError):
+            acct.breakdown(100)
+
+    def test_rejects_negative_cycles(self):
+        with pytest.raises(ValueError):
+            CycleAccounting().add("working", -5)
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            CycleAccounting().breakdown(0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["working", "dummy", "other"]),
+                st.floats(0, 100),
+            ),
+            max_size=30,
+        )
+    )
+    def test_breakdown_always_normalized(self, entries):
+        acct = CycleAccounting()
+        for category, cycles in entries:
+            acct.add(category, cycles)
+        window = max(acct.busy_total(), 1.0) * 2
+        breakdown = acct.breakdown(window)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert all(0 <= v <= 1 for v in breakdown.values())

@@ -1,0 +1,37 @@
+"""Trace recorder."""
+
+from repro.sim.trace import Tracer
+
+
+class TestTracer:
+    def test_records_in_order(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "mmu", "issue", payload=1)
+        tracer.emit(2.0, "mmu", "done", payload=1)
+        assert [r.event for r in tracer.records] == ["issue", "done"]
+
+    def test_disabled_tracer_is_noop(self):
+        tracer = Tracer(enabled=False)
+        tracer.emit(1.0, "mmu", "issue")
+        assert tracer.records == []
+
+    def test_filter_by_component_and_event(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "mmu", "issue")
+        tracer.emit(2.0, "simd", "issue")
+        tracer.emit(3.0, "mmu", "done")
+        assert len(tracer.filter(component="mmu")) == 2
+        assert len(tracer.filter(event="issue")) == 2
+        assert len(tracer.filter(component="mmu", event="issue")) == 1
+
+    def test_timeline(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "mmu", "issue", payload="a")
+        tracer.emit(5.0, "mmu", "issue", payload="b")
+        assert tracer.timeline("issue") == [(1.0, "a"), (5.0, "b")]
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "mmu", "issue")
+        tracer.clear()
+        assert tracer.records == []

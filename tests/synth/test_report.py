@@ -1,0 +1,79 @@
+"""Synthesis proxy: Table 3 and the headline overheads."""
+
+import pytest
+
+from repro.dse.table1 import equinox_configuration
+from repro.synth.report import encoding_overhead, synthesize
+
+
+@pytest.fixture(scope="module")
+def report():
+    return synthesize(equinox_configuration("500us"))
+
+
+class TestTable3:
+    def test_all_components_present(self, report):
+        names = {c.name for c in report.components}
+        assert names == {
+            "MMU", "DRAM Interface", "SIMD Unit", "Weight Buffer",
+            "Activation Buffer", "Request Dispatcher",
+            "Instruction Dispatcher", "Others",
+        }
+
+    def test_totals_near_paper(self, report):
+        assert report.total_area_mm2 == pytest.approx(313.85, rel=0.05)
+        assert report.total_power_w == pytest.approx(85.91, rel=0.10)
+
+    def test_mmu_dominates(self, report):
+        mmu = report.component("MMU")
+        assert mmu.area_mm2 == pytest.approx(185.6, rel=0.10)
+        assert mmu.power_w == pytest.approx(36.84, rel=0.10)
+
+    def test_big_three_take_most_of_chip(self, report):
+        """MMU + DRAM + buffers take ~95% area / ~82% power (paper §6)."""
+        area_frac, power_frac = report.share(
+            "MMU", "DRAM Interface", "Weight Buffer", "Activation Buffer",
+        )
+        assert area_frac > 0.88
+        assert power_frac > 0.75
+
+    def test_unknown_component_rejected(self, report):
+        with pytest.raises(KeyError):
+            report.component("NPU")
+
+
+class TestOverheads:
+    @pytest.fixture(scope="class")
+    def overheads(self):
+        return encoding_overhead(equinox_configuration("500us"))
+
+    def test_controller_under_one_percent(self, overheads):
+        assert overheads["controller_area_overhead"] < 0.01
+        assert overheads["controller_power_overhead"] < 0.01
+
+    def test_encoding_overhead_matches_paper(self, overheads):
+        # Paper: 4% area, 13% power for the SIMD unit.
+        assert overheads["encoding_area_overhead"] == pytest.approx(0.04, abs=0.015)
+        assert overheads["encoding_power_overhead"] == pytest.approx(0.13, abs=0.03)
+
+    def test_exponent_handling_is_small(self, overheads):
+        assert 0 < overheads["mmu_exponent_area_overhead"] < 0.03
+        assert 0 < overheads["mmu_exponent_power_overhead"] < 0.05
+
+
+class TestScaling:
+    def test_dispatcher_area_scales_with_batch_target(self):
+        small = synthesize(equinox_configuration("min"))
+        large = synthesize(equinox_configuration("none"))
+        assert (
+            large.component("Request Dispatcher").area_mm2
+            > small.component("Request Dispatcher").area_mm2
+        )
+
+    def test_bfloat16_mmu_fewer_denser_alus(self):
+        hbfp = synthesize(equinox_configuration("none"))
+        bf16 = synthesize(equinox_configuration("none", "bfloat16"))
+        # Similar MMU area envelopes, ~6x fewer ALUs for bfloat16.
+        assert bf16.component("MMU").area_mm2 == pytest.approx(
+            hbfp.component("MMU").area_mm2, rel=0.25
+        )

@@ -1,0 +1,48 @@
+"""Figure 2 convergence claims at test scale."""
+
+import pytest
+
+from repro.train.convergence import convergence_experiment, perplexity_experiment
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return convergence_experiment(
+        encodings=("fp32", "hbfp8"), epochs=6, samples=1000, hidden=64,
+    )
+
+
+class TestClassification:
+    def test_both_encodings_learn(self, curves):
+        for curve in curves.values():
+            assert curve.final_error < curve.validation_error[0]
+
+    def test_hbfp8_tracks_fp32(self, curves):
+        """Figure 2a's claim: hbfp8 converges like fp32."""
+        gap = abs(curves["hbfp8"].final_error - curves["fp32"].final_error)
+        assert gap < 6.0  # percentage points, at this scale
+
+    def test_curves_comparable_epoch_count(self, curves):
+        assert curves["hbfp8"].epochs == curves["fp32"].epochs
+
+
+class TestPerplexity:
+    @pytest.fixture(scope="class")
+    def lm_curves(self):
+        return perplexity_experiment(
+            encodings=("fp32", "hbfp8"), epochs=5, corpus_length=5000,
+            hidden=64,
+        )
+
+    def test_both_beat_uniform(self, lm_curves):
+        # Uniform perplexity over the 32-char vocab is 32.
+        for curve in lm_curves.values():
+            assert curve.final_perplexity < 16.0
+
+    def test_hbfp8_tracks_fp32(self, lm_curves):
+        """Figure 2b's claim, as a ratio of final perplexities."""
+        ratio = (
+            lm_curves["hbfp8"].final_perplexity
+            / lm_curves["fp32"].final_perplexity
+        )
+        assert 0.8 < ratio < 1.25

@@ -1,0 +1,154 @@
+"""Neural-network layers: numerical gradients, encoding plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.train.nn import Linear, ReLU, Sequential, Tanh, softmax_cross_entropy
+
+
+def _numeric_grad(f, x, eps=1e-3):  # eps sized for float32 forward math
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        plus = f()
+        x[idx] = orig - eps
+        minus = f()
+        x[idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(8, 4)
+        assert layer(np.zeros((3, 8), dtype=np.float32)).shape == (3, 4)
+
+    def test_weight_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(5, 3, rng=rng)
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        target = rng.standard_normal((4, 3)).astype(np.float32)
+
+        def loss():
+            out = layer(x)
+            return 0.5 * float(((out - target) ** 2).sum())
+
+        out = layer(x)
+        layer.backward(out - target)
+        numeric = _numeric_grad(loss, layer.weight)
+        np.testing.assert_allclose(layer.grad_weight, numeric, atol=1e-2)
+
+    def test_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(5, 3, rng=rng)
+        x = rng.standard_normal((2, 5)).astype(np.float32)
+        target = rng.standard_normal((2, 3)).astype(np.float32)
+
+        def loss():
+            return 0.5 * float(((layer(x) - target) ** 2).sum())
+
+        out = layer(x)
+        grad_in = layer.backward(out - target)
+        numeric = _numeric_grad(loss, x)
+        np.testing.assert_allclose(grad_in, numeric, atol=1e-2)
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(RuntimeError):
+            Linear(4, 2).backward(np.zeros((1, 2)))
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 4)
+
+    def test_hbfp8_encoding_rounds_output(self):
+        from repro.arith.bfloat16 import to_bfloat16
+
+        layer = Linear(16, 8, encoding="hbfp8", rng=np.random.default_rng(2))
+        out = layer(np.random.default_rng(3).standard_normal((4, 16)))
+        np.testing.assert_array_equal(out, to_bfloat16(out))
+
+    def test_quantized_close_to_fp32(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((8, 16)).astype(np.float32)
+        exact = Linear(16, 8, encoding="fp32", rng=np.random.default_rng(5))
+        quant = Linear(16, 8, encoding="hbfp8", rng=np.random.default_rng(5))
+        delta = np.abs(exact(x) - quant(x)).max()
+        assert delta < 0.1 * np.abs(exact(x)).max() + 1e-3
+
+
+class TestActivations:
+    def test_relu_forward_backward(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 2.0, 0.0]], dtype=np.float32)
+        out = relu(x)
+        np.testing.assert_array_equal(out, [[0.0, 2.0, 0.0]])
+        grad = relu.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad, [[0.0, 1.0, 0.0]])
+
+    def test_tanh_gradient(self):
+        tanh = Tanh()
+        x = np.array([[0.3, -0.7]], dtype=np.float32)
+        out = tanh(x)
+        grad = tanh.backward(np.ones_like(x))
+        np.testing.assert_allclose(grad, 1 - out**2, rtol=1e-6)
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.zeros((1, 2)))
+
+
+class TestSequential:
+    def test_chains_forward_and_backward(self):
+        rng = np.random.default_rng(6)
+        model = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        out = model(x)
+        assert out.shape == (3, 2)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        assert len(model.parameters()) == 4
+        assert len(model.gradients()) == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Sequential()
+
+
+class TestSoftmaxCrossEntropy:
+    def test_loss_of_perfect_prediction_near_zero(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_logits_loss(self):
+        logits = np.zeros((4, 10))
+        loss, _ = softmax_cross_entropy(logits, np.zeros(4, dtype=int))
+        assert loss == pytest.approx(np.log(10))
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(7)
+        logits = rng.standard_normal((3, 5))
+        labels = np.array([1, 4, 0])
+        _, grad = softmax_cross_entropy(logits.copy(), labels)
+
+        def loss():
+            value, _ = softmax_cross_entropy(logits, labels)
+            return value
+
+        numeric = _numeric_grad(loss, logits)
+        np.testing.assert_allclose(grad, numeric, atol=1e-4)
+
+    def test_gradient_rows_sum_to_zero(self):
+        rng = np.random.default_rng(8)
+        _, grad = softmax_cross_entropy(
+            rng.standard_normal((6, 4)), np.array([0, 1, 2, 3, 0, 1])
+        )
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-6)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.zeros(3, dtype=int))

@@ -1,0 +1,65 @@
+"""SGD optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.train.optimizer import SGD
+
+
+class TestSGD:
+    def test_plain_step(self):
+        opt = SGD(lr=0.1, momentum=0.0)
+        param = np.array([1.0, 2.0], dtype=np.float32)
+        opt.step([param], [np.array([1.0, -1.0], dtype=np.float32)])
+        np.testing.assert_allclose(param, [0.9, 2.1])
+
+    def test_momentum_accumulates(self):
+        opt = SGD(lr=0.1, momentum=0.5)
+        param = np.zeros(1, dtype=np.float32)
+        grad = np.ones(1, dtype=np.float32)
+        opt.step([param], [grad])
+        assert param[0] == pytest.approx(-0.1)
+        opt.step([param], [grad])
+        # velocity = 0.5·(-0.1) - 0.1 = -0.15.
+        assert param[0] == pytest.approx(-0.25)
+
+    def test_weight_decay(self):
+        opt = SGD(lr=0.1, momentum=0.0, weight_decay=0.1)
+        param = np.array([10.0], dtype=np.float32)
+        opt.step([param], [np.zeros(1, dtype=np.float32)])
+        assert param[0] == pytest.approx(10.0 - 0.1 * 0.1 * 10.0)
+
+    def test_in_place_update(self):
+        opt = SGD(lr=0.1, momentum=0.0)
+        param = np.zeros(2, dtype=np.float32)
+        alias = param
+        opt.step([param], [np.ones(2, dtype=np.float32)])
+        assert alias is param
+        assert alias[0] != 0.0
+
+    def test_minimizes_quadratic(self):
+        opt = SGD(lr=0.1, momentum=0.9)
+        param = np.array([5.0], dtype=np.float32)
+        for _ in range(200):
+            opt.step([param], [2 * param])
+        assert abs(param[0]) < 1e-3
+
+    def test_rejects_bad_hyperparams(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD(weight_decay=-0.1)
+
+    def test_mismatched_lists_rejected(self):
+        opt = SGD()
+        with pytest.raises(ValueError):
+            opt.step([np.zeros(1)], [])
+
+    def test_set_lr(self):
+        opt = SGD(lr=0.1)
+        opt.set_lr(0.01)
+        assert opt.lr == 0.01
+        with pytest.raises(ValueError):
+            opt.set_lr(0.0)

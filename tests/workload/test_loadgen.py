@@ -1,0 +1,60 @@
+"""Arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.workload.loadgen import PoissonArrivals, TraceArrivals, UniformArrivals
+
+
+class TestPoisson:
+    def test_mean_gap_matches_rate(self):
+        arrivals = PoissonArrivals(rate_per_cycle=0.01, seed=1)
+        gaps = [arrivals.next_gap() for _ in range(20000)]
+        assert np.mean(gaps) == pytest.approx(100.0, rel=0.05)
+
+    def test_exponential_shape(self):
+        arrivals = PoissonArrivals(rate_per_cycle=0.01, seed=2)
+        gaps = np.array([arrivals.next_gap() for _ in range(20000)])
+        # Memoryless: std ≈ mean for an exponential.
+        assert np.std(gaps) == pytest.approx(np.mean(gaps), rel=0.1)
+
+    def test_deterministic_per_seed(self):
+        a = PoissonArrivals(0.01, seed=7)
+        b = PoissonArrivals(0.01, seed=7)
+        assert [a.next_gap() for _ in range(10)] == [
+            b.next_gap() for _ in range(10)
+        ]
+
+    def test_seeds_differ(self):
+        a = PoissonArrivals(0.01, seed=1).next_gap()
+        b = PoissonArrivals(0.01, seed=2).next_gap()
+        assert a != b
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+
+class TestUniform:
+    def test_constant_gap(self):
+        arrivals = UniformArrivals(gap_cycles=50.0)
+        assert [arrivals.next_gap() for _ in range(3)] == [50.0] * 3
+
+    def test_rejects_bad_gap(self):
+        with pytest.raises(ValueError):
+            UniformArrivals(0.0)
+
+
+class TestTrace:
+    def test_replays_and_cycles(self):
+        arrivals = TraceArrivals([1.0, 2.0, 3.0])
+        gaps = [arrivals.next_gap() for _ in range(7)]
+        assert gaps == [1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TraceArrivals([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TraceArrivals([1.0, -2.0])
