@@ -1,12 +1,15 @@
-"""Command-line experiment runner.
+"""Command-line entry point: experiments and static analysis.
 
     python -m repro list
     python -m repro table1
     python -m repro fig9 --loads 0.2 0.6 0.95
     python -m repro all
+    python -m repro analyze --format json --fail-on error
 
-Each experiment prints the same text tables the benchmark harness
-produces; ``all`` regenerates the full evaluation in one go.
+Experiment subcommands print the same text tables the benchmark harness
+produces; ``all`` regenerates the full evaluation in one go. The
+``analyze`` subcommand runs the static program verifier and codebase
+lint (see :mod:`repro.analysis`).
 """
 
 import argparse
@@ -46,27 +49,52 @@ def _run_one(name: str, loads) -> None:
     print(f"\n[{name} completed in {time.time() - started:.1f}s]\n")
 
 
-def main(argv=None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the Equinox paper's tables and figures.",
+        description="Regenerate the Equinox paper's tables and figures, "
+        "or statically analyze programs and the codebase.",
     )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="which experiment to run ('list' shows descriptions)",
-    )
-    parser.add_argument(
-        "--loads", type=float, nargs="+", default=None,
-        help="override the offered-load grid for load-sweep experiments",
-    )
-    args = parser.parse_args(argv)
+    subparsers = parser.add_subparsers(dest="command", required=True)
 
-    if args.experiment == "list":
+    for name in sorted(EXPERIMENTS) + ["all"]:
+        description = (
+            "run every experiment" if name == "all" else EXPERIMENTS[name][1]
+        )
+        sub = subparsers.add_parser(name, help=description)
+        sub.add_argument(
+            "--loads", type=float, nargs="+", default=None,
+            help="override the offered-load grid for load-sweep experiments",
+        )
+    subparsers.add_parser("list", help="show experiment descriptions")
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="static program verifier + codebase lint",
+        description="Run the static analysis passes (rule catalog in "
+        "DESIGN.md): the program verifier over the builtin workload "
+        "suite and the AST lint over the repro package.",
+    )
+    from repro.analysis import cli as analysis_cli
+
+    analysis_cli.add_arguments(analyze)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
         for name in sorted(EXPERIMENTS):
             print(f"{name:8s} {EXPERIMENTS[name][1]}")
         return 0
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.command == "analyze":
+        from repro.analysis import cli as analysis_cli
+
+        return analysis_cli.run(args)
+    names = (
+        sorted(EXPERIMENTS) if args.command == "all" else [args.command]
+    )
     for name in names:
         _run_one(name, args.loads)
     return 0

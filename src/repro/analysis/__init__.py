@@ -1,0 +1,70 @@
+"""Static analysis for compiled Equinox programs and the codebase.
+
+Two coordinated passes over one diagnostics core:
+
+* the **program verifier** (:mod:`repro.analysis.program_verifier`)
+  statically checks compiled job streams and instruction images against
+  the hardware's static budgets and hazard rules — and gates the
+  service-install path in :mod:`repro.core.dispatcher`;
+* the **codebase linter** (:mod:`repro.analysis.codebase_linter`) runs
+  AST rules (dtype leaks, determinism, exception hygiene) over
+  ``src/repro``.
+
+``python -m repro analyze`` drives both; see ``DESIGN.md`` for the rule
+catalog.
+"""
+
+from repro.analysis.codebase_linter import (
+    DEFAULT_RULES,
+    LintRule,
+    lint_file,
+    lint_source,
+    lint_tree,
+)
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Location,
+    Severity,
+    count_by_severity,
+    errors,
+    exit_code,
+    max_severity,
+    render_json,
+    render_text,
+)
+from repro.analysis.program_verifier import (
+    DEFAULT_WASTE_THRESHOLD,
+    ProgramVerificationError,
+    raise_on_errors,
+    verify,
+    verify_image,
+    verify_program,
+)
+from repro.analysis.rules import Rule, catalog, is_known_rule, rule
+
+__all__ = [
+    "Diagnostic",
+    "Location",
+    "Severity",
+    "count_by_severity",
+    "errors",
+    "exit_code",
+    "max_severity",
+    "render_json",
+    "render_text",
+    "Rule",
+    "catalog",
+    "is_known_rule",
+    "rule",
+    "DEFAULT_WASTE_THRESHOLD",
+    "ProgramVerificationError",
+    "raise_on_errors",
+    "verify",
+    "verify_image",
+    "verify_program",
+    "DEFAULT_RULES",
+    "LintRule",
+    "lint_file",
+    "lint_source",
+    "lint_tree",
+]

@@ -1,0 +1,361 @@
+"""Pass 2: AST-based lint rules over the ``src/repro`` tree.
+
+Rules are pluggable: each is a :class:`LintRule` with a stable id from
+the catalog in :mod:`repro.analysis.rules`, applied file by file to a
+parsed module. Shipping rules:
+
+* **EQX301 float64-leak** — ``np.float64`` usage outside
+  ``repro.arith``. The HBFP datapath's fp32-equivalent convergence
+  claim depends on every tensor passing through block quantization;
+  full-precision numpy escaping the arithmetic package silently
+  invalidates it.
+* **EQX302 nondeterminism** — wall-clock reads (``time.time``,
+  ``datetime.now``...) or unseeded RNG (``np.random.*`` without a seed,
+  ``random.*`` module functions) inside ``repro.sim``, ``repro.hw`` and
+  ``repro.core``, which must stay bit-reproducible.
+* **EQX303 swallowed-exception** — bare ``except:`` and
+  ``except Exception: pass`` handlers.
+* **EQX304 unused-import** — imports never referenced in the module.
+
+Suppression: append ``# eqx: ignore[EQX301]`` (or ``# eqx: ignore`` for
+all rules) to the offending line. Suppressions are deliberate
+escape hatches — e.g. the functional systolic-array model computes its
+exact-accumulation reference in float64 on purpose.
+"""
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis import rules
+from repro.analysis.diagnostics import Diagnostic
+
+#: ``# eqx: ignore`` / ``# eqx: ignore[EQX301, EQX304]``
+_SUPPRESS_RE = re.compile(
+    r"#\s*eqx:\s*ignore(?:\[(?P<ids>[A-Z0-9,\s]+)\])?"
+)
+
+#: Modules whose determinism the simulator's reproducibility depends on.
+DETERMINISTIC_PACKAGES = ("repro/sim", "repro/hw", "repro/core")
+
+#: The quantization boundary: float64 is legal only inside this package
+#: (block conversion needs a full-precision staging representation).
+QUANTIZATION_PACKAGE = "repro/arith"
+
+
+@dataclass
+class LintContext:
+    """Everything a rule needs about the file under analysis."""
+
+    path: str  #: display path (repo-relative when possible)
+    module_path: str  #: normalized posix path used for package scoping
+    source_lines: Sequence[str]
+    suppressions: Dict[int, Optional[Set[str]]] = field(default_factory=dict)
+
+    def in_package(self, *prefixes: str) -> bool:
+        return any(
+            f"/{prefix}/" in self.module_path
+            or self.module_path.endswith(f"/{prefix}.py")
+            for prefix in prefixes
+        )
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        if line not in self.suppressions:
+            return False
+        ids = self.suppressions[line]
+        return ids is None or rule_id in ids
+
+
+def _parse_suppressions(
+    source_lines: Sequence[str],
+) -> Dict[int, Optional[Set[str]]]:
+    """Map 1-based line numbers to suppressed rule ids (None = all)."""
+    suppressions: Dict[int, Optional[Set[str]]] = {}
+    for number, text in enumerate(source_lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        ids = match.group("ids")
+        if ids is None:
+            suppressions[number] = None
+        else:
+            suppressions[number] = {
+                part.strip() for part in ids.split(",") if part.strip()
+            }
+    return suppressions
+
+
+class LintRule:
+    """Base class for pluggable AST rules."""
+
+    rule: rules.Rule
+
+    def applies_to(self, context: LintContext) -> bool:
+        return True
+
+    def check(self, tree: ast.Module, context: LintContext) -> List[Diagnostic]:
+        raise NotImplementedError
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class DtypeLeakRule(LintRule):
+    """EQX301: float64 escaping the quantization boundary."""
+
+    rule = rules.DTYPE_LEAK
+
+    _TARGETS = ("np.float64", "numpy.float64")
+
+    def applies_to(self, context: LintContext) -> bool:
+        return not context.in_package("arith")
+
+    def check(self, tree: ast.Module, context: LintContext) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        for node in ast.walk(tree):
+            name = _dotted_name(node) if isinstance(node, ast.Attribute) else None
+            if name in self._TARGETS:
+                diags.append(rules.diagnostic(
+                    self.rule,
+                    f"{name} used outside repro.arith: full-precision "
+                    "arithmetic bypasses HBFP block quantization",
+                    file=context.path, line=node.lineno,
+                ))
+        return diags
+
+
+class NondeterminismRule(LintRule):
+    """EQX302: wall-clock or unseeded RNG in deterministic packages."""
+
+    rule = rules.NONDETERMINISM
+
+    _CLOCK_CALLS = {
+        "time.time", "time.time_ns", "time.monotonic", "time.perf_counter",
+        "datetime.now", "datetime.utcnow", "datetime.today",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+    #: np.random constructors that are deterministic when given a seed.
+    _SEEDABLE = {
+        "np.random.default_rng", "numpy.random.default_rng",
+        "np.random.RandomState", "numpy.random.RandomState",
+        "random.Random",
+    }
+
+    def applies_to(self, context: LintContext) -> bool:
+        return context.in_package("sim", "hw", "core")
+
+    def check(self, tree: ast.Module, context: LintContext) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted_name(node.func)
+            if name is None:
+                continue
+            if name in self._CLOCK_CALLS:
+                diags.append(rules.diagnostic(
+                    self.rule,
+                    f"{name}() reads the wall clock inside a "
+                    "deterministic simulation package",
+                    file=context.path, line=node.lineno,
+                ))
+            elif name in self._SEEDABLE:
+                if not node.args and not node.keywords:
+                    diags.append(rules.diagnostic(
+                        self.rule,
+                        f"{name}() without a seed is nondeterministic",
+                        file=context.path, line=node.lineno,
+                    ))
+            elif name.startswith(("np.random.", "numpy.random.", "random.")):
+                diags.append(rules.diagnostic(
+                    self.rule,
+                    f"{name}() draws from global (unseeded) RNG state",
+                    file=context.path, line=node.lineno,
+                ))
+        return diags
+
+
+class SwallowedExceptionRule(LintRule):
+    """EQX303: bare excepts and pass-only broad handlers."""
+
+    rule = rules.SWALLOWED_EXCEPTION
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def check(self, tree: ast.Module, context: LintContext) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                diags.append(rules.diagnostic(
+                    self.rule,
+                    "bare `except:` catches SystemExit/KeyboardInterrupt "
+                    "and hides real failures",
+                    file=context.path, line=node.lineno,
+                ))
+                continue
+            type_name = _dotted_name(node.type)
+            body_is_noop = all(
+                isinstance(stmt, ast.Pass)
+                or (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                )
+                for stmt in node.body
+            )
+            if type_name in self._BROAD and body_is_noop:
+                diags.append(rules.diagnostic(
+                    self.rule,
+                    f"`except {type_name}: pass` silently swallows every "
+                    "failure",
+                    file=context.path, line=node.lineno,
+                ))
+        return diags
+
+
+class UnusedImportRule(LintRule):
+    """EQX304: imports never referenced in the module."""
+
+    rule = rules.UNUSED_IMPORT
+
+    def applies_to(self, context: LintContext) -> bool:
+        # Package __init__ modules re-export names on purpose.
+        return not context.module_path.endswith("__init__.py")
+
+    def check(self, tree: ast.Module, context: LintContext) -> List[Diagnostic]:
+        imported: List[Tuple[str, int, str]] = []  # (local name, line, shown)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    imported.append((local, node.lineno, alias.name))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    imported.append((local, node.lineno, alias.name))
+        if not imported:
+            return []
+        used: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                root = node
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if isinstance(root, ast.Name):
+                    used.add(root.id)
+        # Names referenced from string annotations / docstring doctests.
+        source_text = "\n".join(context.source_lines)
+        diags: List[Diagnostic] = []
+        for local, line, shown in imported:
+            if local in used:
+                continue
+            # Fall back to a textual scan: quoted annotations, doctests
+            # and __all__ re-exports keep a name "used".
+            occurrences = len(re.findall(rf"\b{re.escape(local)}\b", source_text))
+            if occurrences > 1:
+                continue
+            diags.append(rules.diagnostic(
+                self.rule,
+                f"import {shown!r} (as {local!r}) is never used",
+                file=context.path, line=line,
+            ))
+        return diags
+
+
+#: The shipped rule set, in catalog order.
+DEFAULT_RULES: Tuple[LintRule, ...] = (
+    DtypeLeakRule(),
+    NondeterminismRule(),
+    SwallowedExceptionRule(),
+    UnusedImportRule(),
+)
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    lint_rules: Optional[Sequence[LintRule]] = None,
+) -> List[Diagnostic]:
+    """Lint one module's source text (unit-test entry point)."""
+    lint_rules = DEFAULT_RULES if lint_rules is None else tuple(lint_rules)
+    source_lines = source.splitlines()
+    context = LintContext(
+        path=path,
+        module_path=Path(path).as_posix(),
+        source_lines=source_lines,
+        suppressions=_parse_suppressions(source_lines),
+    )
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [rules.diagnostic(
+            rules.SYNTAX_ERROR,
+            f"module does not parse: {exc.msg}",
+            file=path, line=exc.lineno or 0,
+        )]
+    diags: List[Diagnostic] = []
+    for lint_rule in lint_rules:
+        if not lint_rule.applies_to(context):
+            continue
+        for diagnostic in lint_rule.check(tree, context):
+            line = diagnostic.location.line or 0
+            if context.suppressed(diagnostic.rule_id, line):
+                continue
+            diags.append(diagnostic)
+    diags.sort(key=lambda d: (d.location.line or 0, d.rule_id))
+    return diags
+
+
+def lint_file(
+    path: Path,
+    root: Optional[Path] = None,
+    lint_rules: Optional[Sequence[LintRule]] = None,
+) -> List[Diagnostic]:
+    """Lint one file on disk, reporting paths relative to ``root``."""
+    display = str(path)
+    if root is not None:
+        try:
+            display = str(path.relative_to(root))
+        except ValueError:
+            pass
+    return lint_source(
+        path.read_text(encoding="utf-8"), path=display, lint_rules=lint_rules
+    )
+
+
+def lint_tree(
+    root: Path,
+    lint_rules: Optional[Sequence[LintRule]] = None,
+) -> List[Diagnostic]:
+    """Lint every ``*.py`` file under ``root`` (a package directory)."""
+    root = Path(root)
+    if root.is_file():
+        return lint_file(root, root.parent, lint_rules)
+    diags: List[Diagnostic] = []
+    for path in sorted(root.rglob("*.py")):
+        diags.extend(lint_file(path, root.parent, lint_rules))
+    return diags

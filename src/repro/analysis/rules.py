@@ -1,0 +1,161 @@
+"""The rule catalog shared by both analysis passes.
+
+Rule ids are stable API: CI configurations, suppression comments and
+the regression corpus reference them. The bands are
+
+* ``EQX1xx`` — program verifier, job-level (checked at service install),
+* ``EQX2xx`` — program verifier, instruction-image level,
+* ``EQX3xx`` — codebase lint (AST rules over ``src/repro``).
+
+Each rule carries its default severity and a one-line rationale; the
+full rationale catalog lives in ``DESIGN.md``.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One static-analysis rule's identity and defaults."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    rationale: str
+
+
+_CATALOG: Dict[str, Rule] = {}
+
+
+def _register(rule: Rule) -> Rule:
+    if rule.rule_id in _CATALOG:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _CATALOG[rule.rule_id] = rule
+    return rule
+
+
+# ---------------------------------------------------------------- EQX1xx
+EMPTY_PROGRAM = _register(Rule(
+    "EQX101", "empty-program", Severity.ERROR,
+    "A program (or step) with no MMU, SIMD or DRAM work wedges the "
+    "engine's dependency chain.",
+))
+INVALID_JOB_FIELD = _register(Rule(
+    "EQX102", "invalid-job-field", Severity.ERROR,
+    "Negative cycles/MACs/bytes, out-of-range utilization or zero "
+    "instruction counts corrupt throughput accounting.",
+))
+DATAPATH_OVERCOMMIT = _register(Rule(
+    "EQX103", "datapath-overcommit", Severity.ERROR,
+    "A job claiming more MACs than cycles x total ALUs cannot be "
+    "streamed by the datapath (paper Eq. 3 peak bound).",
+))
+STAGING_OVERFLOW = _register(Rule(
+    "EQX104", "staging-overflow", Severity.ERROR,
+    "A training job's operand stream must fit the < 2 % staging slice "
+    "of on-chip SRAM (paper section 2.2).",
+))
+STAGING_DOUBLE_BUFFER = _register(Rule(
+    "EQX105", "staging-no-double-buffer", Severity.WARNING,
+    "A stream above half the staging slice serializes prefetch behind "
+    "compute instead of overlapping it.",
+))
+TILING_WASTE = _register(Rule(
+    "EQX106", "tiling-waste", Severity.WARNING,
+    "Low job utilization pads tiles with dummy MACs — Figure 8's "
+    "'other' stall class.",
+))
+ROW_OVERFLOW = _register(Rule(
+    "EQX107", "row-overflow", Severity.WARNING,
+    "A job streaming more rows than the program's batch silently pads "
+    "every pass.",
+))
+
+# ---------------------------------------------------------------- EQX2xx
+INSTRUCTION_OVERFLOW = _register(Rule(
+    "EQX201", "instruction-buffer-overflow", Severity.ERROR,
+    "An installed image must fit its share of the 32 KB instruction "
+    "buffer (paper section 5).",
+))
+LOOP_MALFORMED = _register(Rule(
+    "EQX202", "loop-malformed", Severity.ERROR,
+    "Hardware repeat counters need a repeat count in [2, 65536] and "
+    "bounded nesting.",
+))
+DEAD_INSTRUCTION = _register(Rule(
+    "EQX203", "dead-instruction", Severity.WARNING,
+    "Loops with empty bodies and redundant barriers occupy buffer "
+    "bytes without effect.",
+))
+MISSING_LOAD = _register(Rule(
+    "EQX204", "missing-load", Severity.ERROR,
+    "A training-image MATMUL with no LOAD since the last BARRIER "
+    "reads stale staging data (weights are DRAM-resident in training).",
+))
+MISSING_BARRIER = _register(Rule(
+    "EQX205", "missing-barrier", Severity.ERROR,
+    "A LOAD or MATMUL after a STORE without an intervening BARRIER is "
+    "a read-before-write hazard across steps.",
+))
+
+# ---------------------------------------------------------------- EQX3xx
+SYNTAX_ERROR = _register(Rule(
+    "EQX300", "syntax-error", Severity.ERROR,
+    "A module that does not parse cannot be analyzed (or imported).",
+))
+DTYPE_LEAK = _register(Rule(
+    "EQX301", "float64-leak", Severity.ERROR,
+    "float64 arithmetic outside repro.arith bypasses HBFP block "
+    "quantization and silently invalidates Figure 2's convergence "
+    "claim.",
+))
+NONDETERMINISM = _register(Rule(
+    "EQX302", "nondeterminism", Severity.ERROR,
+    "Wall-clock reads or unseeded RNG inside repro.sim/hw/core make "
+    "simulations irreproducible.",
+))
+SWALLOWED_EXCEPTION = _register(Rule(
+    "EQX303", "swallowed-exception", Severity.ERROR,
+    "Bare or pass-only exception handlers hide datapath model bugs.",
+))
+UNUSED_IMPORT = _register(Rule(
+    "EQX304", "unused-import", Severity.WARNING,
+    "Unused imports hide real dependencies and slow module import.",
+))
+
+
+def catalog() -> List[Rule]:
+    """All registered rules in id order."""
+    return [_CATALOG[rule_id] for rule_id in sorted(_CATALOG)]
+
+
+def rule(rule_id: str) -> Rule:
+    try:
+        return _CATALOG[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown rule id {rule_id!r}") from None
+
+
+def is_known_rule(rule_id: str) -> bool:
+    return rule_id in _CATALOG
+
+
+def diagnostic(
+    rule_obj: Rule,
+    message: str,
+    *,
+    file: Optional[str] = None,
+    line: Optional[int] = None,
+    obj: Optional[str] = None,
+    severity: Optional[Severity] = None,
+) -> Diagnostic:
+    """Build a diagnostic for ``rule_obj`` at the given location."""
+    return Diagnostic(
+        rule_id=rule_obj.rule_id,
+        severity=severity if severity is not None else rule_obj.severity,
+        message=message,
+        location=Location(file=file, line=line, obj=obj),
+    )

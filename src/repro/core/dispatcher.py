@@ -17,6 +17,7 @@ keeps that stream flowing even while an inference batch executes.
 from collections import deque
 from typing import Callable, Deque, List, Optional, Tuple
 
+from repro.analysis.program_verifier import raise_on_errors, verify_program
 from repro.core.batching import BatchingPolicy
 from repro.core.requests import Batch, InferenceRequest, TrainingIterationRecord
 from repro.core.scheduler import SchedulingPolicy
@@ -142,9 +143,15 @@ class InferenceEngine:
         program: Program,
         scheduler: SchedulingPolicy,
         max_inflight: int = 2,
+        verify: bool = True,
     ):
         if max_inflight < 1:
             raise ValueError("need at least one batch in flight")
+        if verify:
+            # Install-time static verification (paper's static budgets):
+            # a violating program fails here with a diagnostic instead
+            # of deep inside a simulation.
+            raise_on_errors(verify_program(program, config, context="inference"))
         self.sim = sim
         self.config = config
         self.mmu = mmu
@@ -249,7 +256,12 @@ class TrainingEngine:
         program: Program,
         scheduler: SchedulingPolicy,
         inference_queue_size: Callable[[], int],
+        verify: bool = True,
     ):
+        if verify:
+            # Training programs must additionally respect the < 2 %
+            # staging cap their operand streams are prefetched through.
+            raise_on_errors(verify_program(program, config, context="training"))
         self.sim = sim
         self.config = config
         self.mmu = mmu

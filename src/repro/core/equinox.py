@@ -150,7 +150,8 @@ class EquinoxAccelerator:
             weight_bytes=inference_model.weight_bytes(operand_bytes),
             activation_bytes=min(
                 config.sram.activation_bytes * 0.5,
-                2.0 * self.batch_slots * max(l.k + l.n_out for l in inference_model.layers),
+                2.0 * self.batch_slots
+                * max(l.k + l.n_out for l in inference_model.layers),
             ),
         )
 

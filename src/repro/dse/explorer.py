@@ -8,7 +8,6 @@ closed form, and keeps the best-performing (m, w) pair; the resulting
 point cloud is what Figure 6 plots and the Pareto frontier summarizes.
 """
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -113,7 +112,9 @@ class DesignSpaceExplorer:
             return m_area, "area"
         return m_power, "power"
 
-    def _evaluate(self, n: int, m: int, w: int, frequency_hz: float, bound: str) -> DesignPoint:
+    def _evaluate(
+        self, n: int, m: int, w: int, frequency_hz: float, bound: str
+    ) -> DesignPoint:
         area = accelerator_area_mm2(n, m, w, self.encoding, self.tech)
         power = accelerator_power_w(n, m, w, frequency_hz, self.encoding, self.tech)
         return DesignPoint(

@@ -58,7 +58,8 @@ def render(result: Fig6Result, max_rows: int = 24) -> str:
         parts.append(
             render_table(
                 f"Figure 6 ({encoding}): Pareto frontier "
-                f"({len(points)} frontier / {len(result.clouds[encoding])} cloud points)",
+                f"({len(points)} frontier / "
+                f"{len(result.clouds[encoding])} cloud points)",
                 ["n", "m", "w", "MHz", "TOp/s", "svc_us", "bound"],
                 rows,
             )

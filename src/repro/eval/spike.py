@@ -9,7 +9,7 @@ load spike subsides" describes.
 """
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List
 
 from repro.core.equinox import SimulationReport
 from repro.eval.report import render_table

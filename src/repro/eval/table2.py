@@ -9,7 +9,7 @@ the large MMU.
 """
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Tuple
 
 from repro.eval.report import render_table
 from repro.eval.runner import build_accelerator, simulate_load_point
@@ -61,7 +61,9 @@ def run(
     rows: Dict[str, Tuple[float, float, float]] = {}
     for key, (spec, chunk_us, batches) in _models(gru_steps, resnet_side).items():
         # Unloaded latency: the analytic batch service time.
-        probe = build_accelerator(latency_class, inference_model=spec, chunk_us=chunk_us)
+        probe = build_accelerator(
+            latency_class, inference_model=spec, chunk_us=chunk_us
+        )
         latency_ms = probe.batch_service_us() / 1e3
 
         # Max inference throughput: saturating offered load, no training.

@@ -76,9 +76,15 @@ class OnChipBuffer:
         if size_bytes < 0:
             raise ValueError("allocation size must be non-negative")
         if size_bytes > self.free_bytes + 1e-9:
+            holders = ", ".join(
+                f"{name}={held:.0f} B" for name, held in self._allocations.items()
+            ) or "none"
             raise BufferCapacityError(
-                f"{self.name}: requested {size_bytes:.0f} B, "
-                f"only {self.free_bytes:.0f} B free of {self.capacity_bytes:.0f}"
+                f"{self.name} buffer cannot install context {context!r}: "
+                f"requested {size_bytes:.0f} B but only {self.free_bytes:.0f} B "
+                f"of {self.capacity_bytes:.0f} B remain "
+                f"(existing allocations: {holders}); "
+                f"short by {size_bytes - self.free_bytes:.0f} B"
             )
         self._allocations[context] = size_bytes
         return BufferAllocation(context, size_bytes)

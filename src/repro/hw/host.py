@@ -13,7 +13,7 @@ buffers), and per-request transfer costs — the pieces the evaluation's
 steady-state experiments abstract away but a deployment needs.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.hw.config import AcceleratorConfig

@@ -165,5 +165,8 @@ def assemble_training(
         instructions.append(Instruction(Opcode.STORE_OUTPUT, ()))
         instructions.append(Instruction(Opcode.BARRIER, ()))
     instructions.append(Instruction(Opcode.STORE_OUTPUT, ()))  # grads out
+    # The parameter-server round trip is a dependency fence: gradients
+    # must ship before the refreshed model streams back.
+    instructions.append(Instruction(Opcode.BARRIER, ()))
     instructions.append(Instruction(Opcode.LOAD_WEIGHTS, ()))  # fresh model
     return InstructionImage(service="training", instructions=instructions)

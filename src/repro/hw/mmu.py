@@ -74,7 +74,9 @@ class MatrixMultiplyUnit:
         self.jobs_issued = 0
         self.busy_cycles = 0.0
 
-    def set_policy(self, policy, pressure_fn: Optional[Callable[[], int]] = None) -> None:
+    def set_policy(
+        self, policy, pressure_fn: Optional[Callable[[], int]] = None
+    ) -> None:
         """Attach the instruction-controller scheduling policy and the
         inference-pressure signal."""
         self._policy = policy
@@ -214,7 +216,9 @@ class MatrixMultiplyUnit:
         window = self.sim.now if window_cycles is None else window_cycles
         return meter.top_s(window, self.config.frequency_hz)
 
-    def busy_fraction(self, context: str, window_cycles: Optional[float] = None) -> float:
+    def busy_fraction(
+        self, context: str, window_cycles: Optional[float] = None
+    ) -> float:
         window = self.sim.now if window_cycles is None else window_cycles
         if window <= 0:
             return 0.0

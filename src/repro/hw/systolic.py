@@ -52,7 +52,9 @@ class SystolicArray:
     """A weight-stationary n×n array of w-wide PEs, simulated per cycle."""
 
     def __init__(self, n: int, w: int, weights: np.ndarray):
-        weights = np.asarray(weights, dtype=np.float64)
+        # Exact-accumulation reference model: quantization happens in
+        # repro.arith before operands reach the array.
+        weights = np.asarray(weights, dtype=np.float64)  # eqx: ignore[EQX301]
         if n < 1 or w < 1:
             raise ValueError("array dimensions must be positive")
         if weights.shape != (n * w, n):
@@ -73,7 +75,7 @@ class SystolicArray:
             last_cycle: Cycle on which the final output left the FIFO.
             completion: (R × n) array of per-output completion cycles.
         """
-        x = np.asarray(activations, dtype=np.float64)
+        x = np.asarray(activations, dtype=np.float64)  # eqx: ignore[EQX301]
         if x.ndim != 2 or x.shape[0] < 1 or x.shape[1] != self.n * self.w:
             raise ValueError(
                 f"activations must be (R>=1, {self.n * self.w}); got {x.shape}"

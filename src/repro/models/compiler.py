@@ -20,11 +20,11 @@ scheduler keeps a fine interleaving granularity.
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from repro.hw.config import AcceleratorConfig
 from repro.hw.isa import DRAMRequest, MMUJob, Program, SIMDJob, StepProgram
-from repro.models.graph import GemmLayer, ModelSpec
+from repro.models.graph import ModelSpec
 
 #: Default job occupancy target: ~2 µs of MMU time, fine enough for the
 #: hardware scheduler to interleave training into inference gaps.

@@ -76,7 +76,9 @@ class Simulator:
             raise ValueError(f"negative delay {delay}")
         return self.at(self.now + delay, callback)
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
         """Run events until the queue drains, ``until``, or ``max_events``.
 
         ``until`` is inclusive: an event scheduled exactly at ``until``

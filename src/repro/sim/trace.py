@@ -33,7 +33,9 @@ class Tracer:
     enabled: bool = True
     records: List[TraceRecord] = field(default_factory=list)
 
-    def emit(self, cycle: float, component: str, event: str, payload: Any = None) -> None:
+    def emit(
+        self, cycle: float, component: str, event: str, payload: Any = None
+    ) -> None:
         if not self.enabled:
             return
         self.records.append(TraceRecord(cycle, component, event, payload))

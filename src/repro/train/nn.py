@@ -158,7 +158,9 @@ def softmax_cross_entropy(
     Returns:
         (loss, grad) with grad already divided by the batch size.
     """
-    logits = np.asarray(logits, dtype=np.float64)
+    # Loss evaluation runs on the SIMD unit's bfloat16/fp32 side, not
+    # the quantized GEMM datapath; full precision here is intentional.
+    logits = np.asarray(logits, dtype=np.float64)  # eqx: ignore[EQX301]
     labels = np.asarray(labels)
     if logits.ndim != 2 or labels.shape != (logits.shape[0],):
         raise ValueError("logits must be (batch, classes), labels (batch,)")

@@ -1,0 +1,33 @@
+"""EQX202: loop-counter abuse the hardware cannot execute.
+
+Two artifacts: a repeat count below the counter's [2, 65536] range,
+and a nest deeper than the controller's loop counters.
+"""
+
+from repro.hw.config import AcceleratorConfig
+from repro.hw.instructions import Instruction, InstructionImage, Opcode
+
+
+def build():
+    config = AcceleratorConfig(
+        name="fixture", n=4, m=2, w=2, frequency_hz=1e9, encoding="hbfp8"
+    )
+    bad_repeat = InstructionImage(
+        service="inference",
+        instructions=[
+            Instruction(Opcode.LOOP, (1,)),  # repeat 1 needs no loop
+            Instruction(Opcode.MATMUL_TILE, (0,)),
+        ],
+    )
+    too_deep = InstructionImage(
+        service="inference",
+        instructions=[
+            Instruction(Opcode.LOOP, (4,)),
+            Instruction(Opcode.LOOP, (4,)),
+            Instruction(Opcode.LOOP, (4,)),
+            Instruction(Opcode.LOOP, (4,)),
+            Instruction(Opcode.LOOP, (4,)),  # fifth level: no counter left
+            Instruction(Opcode.MATMUL_TILE, (0,)),
+        ],
+    )
+    return config, [bad_repeat, too_deep]

@@ -1,0 +1,29 @@
+"""EQX203 (warnings): instructions that occupy buffer bytes for nothing.
+
+Leading/back-to-back BARRIERs, a LOOP with an empty body, and a
+trailing LOOP. Gate with ``--fail-on warning`` — dead code wastes the
+scarce 32 KB but executes correctly.
+"""
+
+from repro.hw.config import AcceleratorConfig
+from repro.hw.instructions import Instruction, InstructionImage, Opcode
+
+
+def build():
+    config = AcceleratorConfig(
+        name="fixture", n=4, m=2, w=2, frequency_hz=1e9, encoding="hbfp8"
+    )
+    image = InstructionImage(
+        service="inference",
+        instructions=[
+            Instruction(Opcode.BARRIER, ()),  # fences nothing (leading)
+            Instruction(Opcode.MATMUL_TILE, (0,)),
+            Instruction(Opcode.BARRIER, ()),
+            Instruction(Opcode.BARRIER, ()),  # fences nothing (repeated)
+            Instruction(Opcode.LOOP, (8,)),
+            Instruction(Opcode.BARRIER, ()),  # empty loop body
+            Instruction(Opcode.MATMUL_TILE, (0,)),
+            Instruction(Opcode.LOOP, (8,)),  # trailing: nothing to repeat
+        ],
+    )
+    return config, image

@@ -1,0 +1,24 @@
+"""EQX205: LOAD after STORE with no BARRIER fence.
+
+The regression this corpus entry pins: the training image's
+parameter-server round trip (gradients out, fresh model in) is a
+read-before-write hazard unless a BARRIER separates the STORE_OUTPUT
+from the next LOAD_WEIGHTS.
+"""
+
+from repro.hw.config import AcceleratorConfig
+from repro.hw.instructions import Instruction, InstructionImage, Opcode
+
+
+def build():
+    config = AcceleratorConfig(
+        name="fixture", n=4, m=2, w=2, frequency_hz=1e9, encoding="hbfp8"
+    )
+    instructions = [
+        Instruction(Opcode.LOAD_WEIGHTS, ()),
+        Instruction(Opcode.MATMUL_TILE, (0,)),
+        Instruction(Opcode.STORE_OUTPUT, ()),  # gradients out
+        Instruction(Opcode.LOAD_WEIGHTS, ()),  # fresh model, unfenced!
+        Instruction(Opcode.MATMUL_TILE, (0,)),
+    ]
+    return config, InstructionImage(service="training", instructions=instructions)

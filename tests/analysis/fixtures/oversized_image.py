@@ -1,0 +1,19 @@
+"""EQX201: an instruction image past the 32 KB buffer.
+
+This pins the ResNet50-training failure mode: a monolithic CNN
+backward pass materializes an order of magnitude more instructions
+than the buffer holds, and the verifier must reject the install
+instead of letting the host silently truncate the image.
+"""
+
+from repro.hw.config import AcceleratorConfig
+from repro.hw.instructions import Instruction, InstructionImage, Opcode
+
+
+def build():
+    config = AcceleratorConfig(
+        name="fixture", n=4, m=2, w=2, frequency_hz=1e9, encoding="hbfp8"
+    )
+    # 16 B per instruction x 3000 = 48 KB > the 32 KB buffer.
+    instructions = [Instruction(Opcode.MATMUL_TILE, (k,)) for k in range(3000)]
+    return config, InstructionImage(service="inference", instructions=instructions)

@@ -1,0 +1,31 @@
+"""EQX104: a training job streaming more operands than the staging slice.
+
+The < 2 % SRAM staging cap (paper section 2.2) is what lets training
+piggyback without evicting inference's working set; a compiler that
+emits a job whose weight stream exceeds it must be caught at install.
+"""
+
+from repro.hw.config import AcceleratorConfig
+from repro.hw.isa import MMUJob, Program, StepProgram
+
+
+def build():
+    config = AcceleratorConfig(
+        name="fixture", n=4, m=2, w=2, frequency_hz=1e9, encoding="hbfp8"
+    )
+    # staging_bytes is ~1.57 MB for the default SRAM budget; one job
+    # streaming 4 MB of weights cannot be staged.
+    job = MMUJob(
+        cycles=1_000_000.0,
+        rows=4,
+        macs=1_000_000.0,
+        utilization=0.9,
+        weight_bytes=4e6,
+    )
+    program = Program(
+        name="staging_overflow",
+        steps=[StepProgram(mmu_jobs=[job], label="wgrad")],
+        rows=4,
+        useful_ops_per_row=1.0,
+    )
+    return config, program

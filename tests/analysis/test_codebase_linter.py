@@ -1,0 +1,138 @@
+"""AST lint rules: violating and clean sources per rule, suppression."""
+
+from repro.analysis.codebase_linter import lint_source
+from repro.analysis.diagnostics import Severity
+from repro.analysis.suite import lint_repository
+
+SIM_PATH = "src/repro/sim/engine.py"
+CORE_PATH = "src/repro/core/dispatcher.py"
+ARITH_PATH = "src/repro/arith/bfp.py"
+EVAL_PATH = "src/repro/eval/fig9.py"
+
+
+def _ids(diags):
+    return [d.rule_id for d in diags]
+
+
+class TestSyntaxError:
+    def test_eqx300(self):
+        diags = lint_source("def broken(:\n", path=SIM_PATH)
+        assert _ids(diags) == ["EQX300"]
+        assert diags[0].severity is Severity.ERROR
+
+
+class TestDtypeLeak:
+    LEAKY = "import numpy as np\n\nACC = np.float64(0.0)\n"
+
+    def test_eqx301_outside_arith(self):
+        diags = lint_source(self.LEAKY, path=CORE_PATH)
+        assert "EQX301" in _ids(diags)
+        assert diags[0].location.line == 3
+
+    def test_arith_is_the_quantization_boundary(self):
+        assert lint_source(self.LEAKY, path=ARITH_PATH) == []
+
+    def test_float32_is_fine(self):
+        clean = "import numpy as np\n\nACC = np.float32(0.0)\n"
+        assert lint_source(clean, path=CORE_PATH) == []
+
+
+class TestSuppression:
+    def test_targeted_suppression(self):
+        source = (
+            "import numpy as np\n\n"
+            "ACC = np.float64(0.0)  # eqx: ignore[EQX301]\n"
+        )
+        assert lint_source(source, path=CORE_PATH) == []
+
+    def test_blanket_suppression(self):
+        source = "import numpy as np\n\nACC = np.float64(0.0)  # eqx: ignore\n"
+        assert lint_source(source, path=CORE_PATH) == []
+
+    def test_wrong_id_does_not_suppress(self):
+        source = (
+            "import numpy as np\n\n"
+            "ACC = np.float64(0.0)  # eqx: ignore[EQX304]\n"
+        )
+        assert "EQX301" in _ids(lint_source(source, path=CORE_PATH))
+
+
+class TestNondeterminism:
+    def test_eqx302_wall_clock(self):
+        source = "import time\n\n\ndef now():\n    return time.time()\n"
+        assert "EQX302" in _ids(lint_source(source, path=SIM_PATH))
+
+    def test_rule_scoped_to_deterministic_packages(self):
+        source = "import time\n\n\ndef now():\n    return time.time()\n"
+        assert lint_source(source, path=EVAL_PATH) == []
+
+    def test_eqx302_unseeded_generator(self):
+        source = "import numpy as np\n\nRNG = np.random.default_rng()\n"
+        assert "EQX302" in _ids(lint_source(source, path=SIM_PATH))
+
+    def test_seeded_generator_is_deterministic(self):
+        source = "import numpy as np\n\nRNG = np.random.default_rng(42)\n"
+        assert lint_source(source, path=SIM_PATH) == []
+
+    def test_eqx302_global_rng_state(self):
+        source = "import numpy as np\n\nX = np.random.rand(3)\n"
+        assert "EQX302" in _ids(lint_source(source, path=SIM_PATH))
+
+
+class TestSwallowedException:
+    def test_eqx303_bare_except(self):
+        source = "try:\n    x = 1\nexcept:\n    x = 2\n"
+        assert "EQX303" in _ids(lint_source(source, path=SIM_PATH))
+
+    def test_eqx303_broad_noop_handler(self):
+        source = "try:\n    x = 1\nexcept Exception:\n    pass\n"
+        assert "EQX303" in _ids(lint_source(source, path=SIM_PATH))
+
+    def test_broad_handler_with_real_body_is_fine(self):
+        source = "try:\n    x = 1\nexcept Exception as exc:\n    raise exc\n"
+        assert lint_source(source, path=SIM_PATH) == []
+
+    def test_narrow_noop_handler_is_fine(self):
+        source = "try:\n    x = 1\nexcept ValueError:\n    pass\n"
+        assert lint_source(source, path=SIM_PATH) == []
+
+
+class TestUnusedImport:
+    def test_eqx304(self):
+        diags = lint_source("import os\n\nVALUE = 1\n", path=SIM_PATH)
+        assert _ids(diags) == ["EQX304"]
+        assert diags[0].severity is Severity.WARNING
+        assert diags[0].location.line == 1
+
+    def test_used_import_is_fine(self):
+        assert lint_source("import os\n\nSEP = os.sep\n", path=SIM_PATH) == []
+
+    def test_string_annotation_counts_as_use(self):
+        source = 'import os\n\n\ndef f(p: "os.PathLike") -> None:\n    return\n'
+        assert lint_source(source, path=SIM_PATH) == []
+
+    def test_init_reexports_are_exempt(self):
+        source = "from repro.sim.engine import Simulator\n"
+        assert lint_source(source, path="src/repro/sim/__init__.py") == []
+
+
+class TestOrdering:
+    def test_diagnostics_sorted_by_line(self):
+        source = (
+            "import os\n"
+            "import numpy as np\n"
+            "\n"
+            "ACC = np.float64(0.0)\n"
+        )
+        diags = lint_source(source, path=CORE_PATH)
+        assert _ids(diags) == ["EQX304", "EQX301"]
+        assert [d.location.line for d in diags] == [1, 4]
+
+
+class TestRepositoryIsClean:
+    def test_no_errors_in_tree(self):
+        """The shipped package must lint clean at error severity."""
+        errors = [
+            d for d in lint_repository() if d.severity >= Severity.ERROR
+        ]
+        assert errors == [], "\n".join(d.render() for d in errors)

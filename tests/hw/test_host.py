@@ -45,7 +45,10 @@ class TestInstallation:
         install_cycles = host.services["training"].install_completed_cycle
         image_bytes = host.services["training"].image.bytes
         per_cycle = host.link.bandwidth_bytes_per_s / small_config.frequency_hz
-        expected = image_bytes / per_cycle + host.link.latency_us * 1e-6 * small_config.frequency_hz
+        expected = (
+            image_bytes / per_cycle
+            + host.link.latency_us * 1e-6 * small_config.frequency_hz
+        )
         assert install_cycles == pytest.approx(expected, rel=0.01)
 
     def test_duplicate_service_rejected(self, host, small_config):

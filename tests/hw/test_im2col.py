@@ -16,7 +16,9 @@ def _reference_conv(images, kernels, stride, padding):
     out = np.zeros((b, out_c, out_h, out_w), dtype=np.float32)
     for y in range(out_h):
         for x in range(out_w):
-            patch = padded[:, :, y * stride : y * stride + k, x * stride : x * stride + k]
+            patch = padded[
+                :, :, y * stride : y * stride + k, x * stride : x * stride + k
+            ]
             out[:, :, y, x] = np.einsum("bcij,ocij->bo", patch, kernels)
     return out
 

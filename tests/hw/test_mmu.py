@@ -5,7 +5,6 @@ import pytest
 from repro.core.scheduler import FairScheduler, PriorityScheduler
 from repro.hw.isa import MMUJob
 from repro.hw.mmu import MatrixMultiplyUnit
-from repro.sim.engine import Simulator
 
 
 def _job(cycles=10.0, rows=4, util=1.0):

@@ -1,6 +1,5 @@
 """Latency, throughput and cycle-accounting collectors."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
