@@ -5,11 +5,14 @@
     python -m repro fig9 --loads 0.2 0.6 0.95
     python -m repro all
     python -m repro analyze --format json --fail-on error
+    python -m repro chaos --seed 7
 
 Experiment subcommands print the same text tables the benchmark harness
 produces; ``all`` regenerates the full evaluation in one go. The
 ``analyze`` subcommand runs the static program verifier and codebase
-lint (see :mod:`repro.analysis`).
+lint (see :mod:`repro.analysis`); ``chaos`` runs the seeded
+fault-injection scenario matrix (see :mod:`repro.faults.chaos`) and
+prints the degradation table with its determinism self-check.
 """
 
 import argparse
@@ -78,6 +81,26 @@ def _build_parser() -> argparse.ArgumentParser:
     from repro.analysis import cli as analysis_cli
 
     analysis_cli.add_arguments(analyze)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="seeded fault-injection scenario matrix",
+        description="Run the chaos matrix: every fault scenario twice "
+        "from its seed, printing degradation vs the fault-free baseline "
+        "and a determinism self-check.",
+    )
+    chaos.add_argument(
+        "--load", type=float, default=None,
+        help="offered inference load for every scenario",
+    )
+    chaos.add_argument(
+        "--requests", type=int, default=None,
+        help="requests per single-accelerator scenario",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=None,
+        help="base seed for arrivals and fault plans",
+    )
     return parser
 
 
@@ -92,6 +115,24 @@ def main(argv=None) -> int:
         from repro.analysis import cli as analysis_cli
 
         return analysis_cli.run(args)
+    if args.command == "chaos":
+        # Imported lazily: chaos pulls in the cluster layer, which the
+        # experiment subcommands never need.
+        from repro.faults import chaos as chaos_mod
+
+        kwargs = {}
+        if args.load is not None:
+            kwargs["load"] = args.load
+        if args.requests is not None:
+            kwargs["requests"] = args.requests
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        started = time.time()
+        result = chaos_mod.run(**kwargs)
+        print(chaos_mod.render(result))
+        print(f"\n[chaos completed in {time.time() - started:.1f}s]\n")
+        rows = result["rows"]
+        return 0 if all(r.reproducible for r in rows) else 1
     names = (
         sorted(EXPERIMENTS) if args.command == "all" else [args.command]
     )

@@ -16,6 +16,10 @@ parsed module. Shipping rules:
 * **EQX303 swallowed-exception** — bare ``except:`` and
   ``except Exception: pass`` handlers.
 * **EQX304 unused-import** — imports never referenced in the module.
+* **EQX305 unbounded-retry** — ``while True`` retry loops whose except
+  handler neither breaks, returns nor re-raises: the failure path spins
+  forever. Retries must carry a budget, like the fault subsystem's
+  bounded HBM retry and admission-control ``max_retries``.
 
 Suppression: append ``# eqx: ignore[EQX301]`` (or ``# eqx: ignore`` for
 all rules) to the offending line. Suppressions are deliberate
@@ -281,12 +285,80 @@ class UnusedImportRule(LintRule):
         return diags
 
 
+class UnboundedRetryRule(LintRule):
+    """EQX305: while-True retry loops with no bounded failure path."""
+
+    rule = rules.UNBOUNDED_RETRY
+
+    @staticmethod
+    def _is_constant_true(test: ast.expr) -> bool:
+        return isinstance(test, ast.Constant) and bool(test.value)
+
+    #: Subtrees whose control flow is not the enclosing loop's: an inner
+    #: loop's try retries within *that* loop (which gets its own visit),
+    #: and nested scopes break/return somewhere else entirely.
+    _SCOPE_BARRIERS = (
+        ast.While, ast.For, ast.FunctionDef, ast.AsyncFunctionDef,
+        ast.ClassDef, ast.Lambda,
+    )
+
+    @classmethod
+    def _tries_of_loop(cls, loop: ast.While) -> List[ast.Try]:
+        """Try statements whose except handlers feed this loop's
+        backedge (skipping inner loops and nested scopes)."""
+        tries: List[ast.Try] = []
+        stack: List[ast.AST] = list(loop.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, cls._SCOPE_BARRIERS):
+                continue
+            if isinstance(node, ast.Try):
+                tries.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return tries
+
+    @classmethod
+    def _handler_bounded(cls, handler: ast.ExceptHandler) -> bool:
+        """Whether the failure path can leave the retry loop."""
+        stack: List[ast.AST] = list(handler.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.Break, ast.Return, ast.Raise)):
+                return True
+            if isinstance(node, cls._SCOPE_BARRIERS):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+        return False
+
+    def check(self, tree: ast.Module, context: LintContext) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.While):
+                continue
+            if not self._is_constant_true(node.test):
+                continue
+            for try_node in self._tries_of_loop(node):
+                for handler in try_node.handlers:
+                    if not self._handler_bounded(handler):
+                        diags.append(rules.diagnostic(
+                            self.rule,
+                            "while-True retry: this except handler never "
+                            "breaks, returns or re-raises, so a persistent "
+                            "fault spins the loop forever — bound the "
+                            "retries (attempt counter, deadline) like the "
+                            "fault subsystem's max_retries budgets",
+                            file=context.path, line=handler.lineno,
+                        ))
+        return diags
+
+
 #: The shipped rule set, in catalog order.
 DEFAULT_RULES: Tuple[LintRule, ...] = (
     DtypeLeakRule(),
     NondeterminismRule(),
     SwallowedExceptionRule(),
     UnusedImportRule(),
+    UnboundedRetryRule(),
 )
 
 

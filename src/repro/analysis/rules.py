@@ -125,6 +125,12 @@ UNUSED_IMPORT = _register(Rule(
     "EQX304", "unused-import", Severity.WARNING,
     "Unused imports hide real dependencies and slow module import.",
 ))
+UNBOUNDED_RETRY = _register(Rule(
+    "EQX305", "unbounded-retry", Severity.WARNING,
+    "A while-True retry loop whose failure path neither breaks, "
+    "returns nor re-raises can spin forever; recovery must be bounded "
+    "(the fault subsystem's retry budgets exist for a reason).",
+))
 
 
 def catalog() -> List[Rule]:

@@ -15,6 +15,11 @@ from typing import Optional
 class BatchingPolicy:
     """Decides when the formation buffer should issue a batch."""
 
+    def set_degraded(self, degraded: bool) -> None:
+        """Degraded-mode hook (SLO guard): policies that can trade
+        formation efficiency for latency override this; the default is
+        inert so static batching keeps its contract."""
+
     def should_issue(self, queued: int, oldest_wait_cycles: float) -> bool:
         """Whether to issue right now given buffer state."""
         raise NotImplementedError
@@ -66,6 +71,12 @@ class AdaptiveBatching(BatchingPolicy):
             ("X× service time", Figure 11b/c) and picks 2×.
     """
 
+    #: Formation-timeout divisor while the SLO guard holds the policy
+    #: in degraded mode: batches shrink (issue earlier, more padding)
+    #: so queued requests stop paying full formation waits on top of
+    #: fault-induced queueing.
+    DEGRADED_TIMEOUT_DIVISOR = 2.0
+
     def __init__(self, slots: int, timeout_cycles: float):
         if slots < 1:
             raise ValueError("batch size must be positive")
@@ -73,6 +84,16 @@ class AdaptiveBatching(BatchingPolicy):
             raise ValueError("timeout must be positive")
         self.slots = slots
         self.timeout_cycles = timeout_cycles
+        self.degraded = False
+
+    def set_degraded(self, degraded: bool) -> None:
+        self.degraded = degraded
+
+    @property
+    def effective_timeout_cycles(self) -> float:
+        if self.degraded:
+            return self.timeout_cycles / self.DEGRADED_TIMEOUT_DIVISOR
+        return self.timeout_cycles
 
     @property
     def batch_slots(self) -> int:
@@ -81,10 +102,10 @@ class AdaptiveBatching(BatchingPolicy):
     def should_issue(self, queued: int, oldest_wait_cycles: float) -> bool:
         if queued >= self.slots:
             return True
-        return queued > 0 and oldest_wait_cycles >= self.timeout_cycles
+        return queued > 0 and oldest_wait_cycles >= self.effective_timeout_cycles
 
     def deadline_cycles(self, oldest_arrival_cycle: float) -> Optional[float]:
-        return oldest_arrival_cycle + self.timeout_cycles
+        return oldest_arrival_cycle + self.effective_timeout_cycles
 
     def __repr__(self) -> str:
         return (

@@ -14,13 +14,16 @@ instruction-granular round-robin of the hardware scheduler is what
 keeps that stream flowing even while an inference batch executes.
 """
 
+from bisect import insort
 from collections import deque
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.analysis.program_verifier import raise_on_errors, verify_program
 from repro.core.batching import BatchingPolicy
 from repro.core.requests import Batch, InferenceRequest, TrainingIterationRecord
 from repro.core.scheduler import SchedulingPolicy
+from repro.faults.admission import AdmissionControl
+from repro.faults.counters import FaultCounters
 from repro.hw.config import AcceleratorConfig
 from repro.hw.dram import HBMInterface, PRIORITY_TRAINING
 from repro.hw.isa import Program
@@ -36,19 +39,34 @@ SIMD_TRAINING_PRIORITY = 1
 
 
 class RequestDispatcher:
-    """Request queue + batch formation buffer for the inference service."""
+    """Request queue + batch formation buffer for the inference service.
+
+    With an :class:`AdmissionControl` attached, the buffer is bounded —
+    an arrival finding it full is *shed* (counted, marked
+    ``rejected``, never batched) — and queued requests carry a deadline:
+    one that waits too long is pulled out and either re-admitted with
+    exponential backoff (up to the retry budget; its latency clock keeps
+    running from the original arrival) or abandoned as timed out. With
+    no admission control (the default) behaviour is exactly the
+    historical unbounded queue.
+    """
 
     def __init__(
         self,
         sim: Simulator,
         policy: BatchingPolicy,
         on_batch: Callable[[Batch], None],
+        admission: Optional[AdmissionControl] = None,
+        counters: Optional[FaultCounters] = None,
     ):
         self.sim = sim
         self.policy = policy
         self.on_batch = on_batch
+        self.admission = admission
+        self.counters = counters if counters is not None else FaultCounters()
         self._buffer: Deque[InferenceRequest] = deque()
         self._deadline_event: Optional[Event] = None
+        self._timeout_events: Dict[int, Event] = {}
         self._next_batch_id = 0
         self._next_request_id = 0
         self.batches_formed = 0
@@ -63,16 +81,75 @@ class RequestDispatcher:
         instruction controller's spike guard monitors."""
         return len(self._buffer)
 
+    @property
+    def rejected_requests(self) -> int:
+        """Requests shed by the bounded admission queue."""
+        return self.counters.rejected_requests
+
+    @property
+    def request_timeouts(self) -> int:
+        """Requests abandoned after exhausting their deadline budget."""
+        return self.counters.request_timeouts
+
+    @property
+    def request_retries(self) -> int:
+        """Deadline-expired requests re-admitted with backoff."""
+        return self.counters.request_retries
+
     def submit(self) -> InferenceRequest:
-        """A client request arrives now."""
+        """A client request arrives now (possibly to be shed)."""
         request = InferenceRequest(
             request_id=self._next_request_id, arrival_cycle=self.sim.now
         )
         self._next_request_id += 1
         self.requests_submitted += 1
-        self._buffer.append(request)
-        self._evaluate()
+        self._admit(request)
         return request
+
+    def _admit(self, request: InferenceRequest) -> None:
+        admission = self.admission
+        if (
+            admission is not None
+            and admission.bounds_queue
+            and len(self._buffer) >= admission.max_queue_requests
+        ):
+            # Load shedding: better one explicit rejection now than one
+            # more request whose latency diverges in an unbounded queue.
+            request.rejected = True
+            self.counters.rejected_requests += 1
+            return
+        self._buffer.append(request)
+        if admission is not None and admission.has_deadline:
+            self._timeout_events[request.request_id] = self.sim.after(
+                admission.deadline_cycles,
+                lambda: self._on_request_timeout(request),
+            )
+        self._evaluate()
+
+    def _on_request_timeout(self, request: InferenceRequest) -> None:
+        self._timeout_events.pop(request.request_id, None)
+        if request.batched_cycle is not None:
+            return  # formed into a batch before the deadline fired
+        try:
+            self._buffer.remove(request)
+        except ValueError:
+            return
+        admission = self.admission
+        if request.retries < admission.max_retries:
+            # Re-admit with bounded exponential backoff; the latency
+            # clock keeps running from the original arrival.
+            request.retries += 1
+            self.counters.request_retries += 1
+            self.sim.after(
+                admission.retry_delay(request.retries),
+                lambda: self._admit(request),
+            )
+        else:
+            request.timed_out = True
+            self.counters.request_timeouts += 1
+        self._arm_deadline()
+        if self.on_queue_decrease is not None:
+            self.on_queue_decrease()
 
     def _evaluate(self) -> None:
         while self._buffer:
@@ -99,6 +176,9 @@ class RequestDispatcher:
             self.incomplete_batches += 1
         for request in taken:
             request.batched_cycle = self.sim.now
+            timeout = self._timeout_events.pop(request.request_id, None)
+            if timeout is not None:
+                timeout.cancel()
         if self._deadline_event is not None:
             self._deadline_event.cancel()
             self._deadline_event = None
@@ -277,7 +357,7 @@ class TrainingEngine:
         self._exec_step = 0  # step whose jobs may enter the MMU queue
         self._exec_jobs_done = 0
         self._prefetch_cursor: Tuple[int, int] = (0, 0)  # (step, job)
-        self._staged: Deque[Tuple[int, int]] = deque()
+        self._staged: List[Tuple[int, int]] = []
         self._staged_bytes = 0.0
         self._inflight_prefetch_bytes = 0.0
         self._prefetch_outstanding = 0
@@ -364,7 +444,12 @@ class TrainingEngine:
         def _staged() -> None:
             self._inflight_prefetch_bytes -= stream
             self._staged_bytes += stream
-            self._staged.append((step_idx, job_idx))
+            # Streams normally land in program order, but an HBM ECC
+            # retry re-enters the channel queue and can deliver late —
+            # keep the issue queue sorted by program position so the
+            # current step's delayed job is never stuck behind a later
+            # step's (which would wedge the pipeline).
+            insort(self._staged, (step_idx, job_idx))
             self._maybe_issue()
             self._maybe_prefetch()
 
@@ -395,7 +480,7 @@ class TrainingEngine:
                 ):
                     break
                 self._committed_step = step_idx
-            self._staged.popleft()
+            self._staged.pop(0)
             self._issue_job(step_idx, job_idx)
 
     def _issue_job(self, step_idx: int, job_idx: int) -> None:

@@ -29,6 +29,11 @@ from repro.core.dispatcher import (
     TrainingEngine,
 )
 from repro.core.scheduler import SchedulingPolicy, make_scheduler
+from repro.faults.admission import AdmissionControl
+from repro.faults.counters import FaultCounters
+from repro.faults.guard import SLOGuard
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.hw.buffers import OnChipBuffer
 from repro.hw.config import AcceleratorConfig
 from repro.hw.dram import HBMInterface
@@ -37,7 +42,7 @@ from repro.hw.simd import SIMDUnit
 from repro.models.compiler import TileCompiler
 from repro.models.graph import ModelSpec
 from repro.sim.engine import Simulator
-from repro.workload.loadgen import ArrivalProcess, PoissonArrivals
+from repro.workload.loadgen import ArrivalProcess, FaultyArrivals, PoissonArrivals
 
 #: Default batch-formation timeout as a multiple of the service time —
 #: the paper's Figure 11 sweep settles on 2×.
@@ -45,6 +50,11 @@ DEFAULT_BATCH_TIMEOUT_X = 2.0
 
 #: Default spike-guard threshold in batches of backlog.
 DEFAULT_QUEUE_THRESHOLD_BATCHES = 2
+
+#: Default SLO-guard degradation threshold as a multiple of the spike
+#: guard's queue threshold: the guard engages only for backlogs the
+#: instruction-level spike guard alone is failing to drain.
+DEFAULT_DEGRADE_THRESHOLD_X = 2
 
 
 @dataclass
@@ -69,13 +79,25 @@ class SimulationReport:
     dram_gb_s: float = 0.0
     dram_utilization: float = 0.0
     events_processed: int = 0
+    #: Requests shed by the bounded admission queue.
+    rejected_requests: int = 0
+    #: Requests abandoned after exhausting their deadline budget.
+    request_timeouts: int = 0
+    #: Fault/recovery counters accumulated over the run (all zero for a
+    #: fault-free experiment).
+    faults: FaultCounters = field(default_factory=FaultCounters)
 
     @property
     def duration_s(self) -> float:
         return self.duration_cycles / self.frequency_hz
 
     def meets_target(self, target_us: float) -> bool:
-        """Whether the p99 latency satisfies the service-level goal."""
+        """Whether the p99 latency satisfies the service-level goal.
+
+        A run that was offered traffic but completed nothing reports a
+        p99 of ``inf`` (see :meth:`EquinoxAccelerator._report`), so a
+        fully-failed run can never vacuously pass the SLO.
+        """
         return self.p99_latency_us <= target_us
 
 
@@ -101,6 +123,20 @@ class EquinoxAccelerator:
         max_inflight_batches: Inference batches overlapped in the
             datapath (double-buffered activation banks).
         decision_latency_us: Software-scheduler turnaround.
+        fault_plan: Seeded fault-injection plan
+            (:class:`repro.faults.FaultPlan`); ``None`` disables the
+            fault subsystem entirely (byte-identical to the historical
+            behaviour).
+        admission: Overload policy for the request queue
+            (:class:`repro.faults.AdmissionControl`): bounded admission
+            with shedding plus request deadline timeouts with
+            retry/backoff. ``None`` keeps the unbounded queue.
+        degrade_threshold: Inference backlog (requests) at which the
+            SLO guard degrades gracefully — preempting training and
+            shrinking adaptive batches until the backlog drains.
+            Defaults to twice the spike-guard threshold. The guard is
+            installed whenever a fault plan or admission control is
+            present.
     """
 
     def __init__(
@@ -117,15 +153,26 @@ class EquinoxAccelerator:
         max_inflight_batches: int = 2,
         decision_latency_us: float = 10.0,
         software_conservative: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        admission: Optional[AdmissionControl] = None,
+        degrade_threshold: Optional[int] = None,
     ):
         self.config = config
         self.inference_model = inference_model
         self.training_model = training_model
+        self.fault_plan = fault_plan
+        self.admission = admission
+        self.fault_counters = FaultCounters()
 
         self.sim = Simulator()
         self.mmu = MatrixMultiplyUnit(self.sim, config)
         self.simd = SIMDUnit(self.sim, config)
         self.hbm = HBMInterface(self.sim, config)
+        self.fault_injector: Optional[FaultInjector] = None
+        if fault_plan is not None:
+            self.fault_injector = FaultInjector(fault_plan, self.fault_counters)
+            self.hbm.set_fault_injector(self.fault_injector)
+            self.mmu.set_fault_injector(self.fault_injector)
         self.weight_buffer = OnChipBuffer(
             self.sim, "weight", config.sram.weight_bytes,
             port_bytes_per_cycle=config.dram_bytes_per_cycle,
@@ -185,11 +232,32 @@ class EquinoxAccelerator:
             max_inflight=max_inflight_batches,
         )
         self.dispatcher = RequestDispatcher(
-            self.sim, self.batching, on_batch=self.engine.enqueue
+            self.sim, self.batching, on_batch=self.engine.enqueue,
+            admission=admission, counters=self.fault_counters,
         )
         # Wire the arbiter to the policy and the queue-size signal
         # (Figure 5's "Inference Queue Size" wire into the controller).
         self.mmu.set_policy(self.scheduler, self._inference_backlog)
+
+        # The SLO guard rides along whenever the fault subsystem is in
+        # play: it samples the backlog once per batch service time and
+        # degrades gracefully (preempt training, shrink batches) when a
+        # fault is piling work up faster than the datapath drains it.
+        self.slo_guard: Optional[SLOGuard] = None
+        if fault_plan is not None or admission is not None:
+            if degrade_threshold is None:
+                degrade_threshold = (
+                    DEFAULT_DEGRADE_THRESHOLD_X * self.queue_threshold
+                )
+            self.slo_guard = SLOGuard(
+                self.sim,
+                self._inference_backlog,
+                degrade_threshold=degrade_threshold,
+                check_interval_cycles=max(service_cycles, 1.0),
+                counters=self.fault_counters,
+                on_degrade=self._enter_degraded,
+                on_recover=self._exit_degraded,
+            )
 
         self.training_engine: Optional[TrainingEngine] = None
         self.training_program = None
@@ -225,6 +293,20 @@ class EquinoxAccelerator:
         """The spike-guard signal: requests waiting to form plus real
         requests in batches that have not started executing."""
         return self.dispatcher.queue_size + self.engine.backlog_requests
+
+    def _enter_degraded(self) -> None:
+        """SLO-guard transition: preempt training, shrink batches."""
+        self.scheduler.set_degraded(True)
+        self.batching.set_degraded(True)
+
+    def _exit_degraded(self) -> None:
+        self.scheduler.set_degraded(False)
+        self.batching.set_degraded(False)
+        # Training grants are legal again; wake the pipeline (the MMU
+        # only re-arbitrates on job arrival/completion).
+        if self.training_engine is not None:
+            self.training_engine.poke()
+        self.mmu.pump()
 
     def batch_service_cycles(self) -> float:
         """Unloaded service time of one batch: the serial dependency
@@ -284,6 +366,13 @@ class EquinoxAccelerator:
         if arrivals is None:
             rate = load * self.capacity_requests_per_cycle()
             arrivals = PoissonArrivals(rate, seed=seed)
+        if self.fault_plan is not None and self.fault_plan.requests.enabled:
+            # Front-end network faults: drops and delays, sampled from
+            # the plan's own substream so the lossy trace is exactly
+            # reproducible for a given (plan, seed) pair.
+            arrivals = FaultyArrivals(
+                arrivals, self.fault_plan, self.fault_counters
+            )
 
         if self.training_engine is not None and not self.training_engine._started:
             self.training_engine.start()
@@ -397,6 +486,11 @@ class EquinoxAccelerator:
 
             window = self.sim.now - before.now
             latencies = self.engine.latency.samples_since(before.latency_count)
+            no_sample = self._no_sample_latency_us(
+                self.dispatcher.requests_submitted - before.submitted
+            )
+            if self.slo_guard is not None:
+                self.slo_guard.flush()
             inf_meter = self.mmu.throughput_by_context.get("inference")
             inf_total = inf_meter.total_ops if inf_meter else 0.0
             trn_meter = self.mmu.throughput_by_context.get("training")
@@ -424,15 +518,15 @@ class EquinoxAccelerator:
                         self.config.cycles_to_us(
                             float(np.percentile(latencies, 99))
                         )
-                        if latencies else math.nan
+                        if latencies else no_sample
                     ),
                     mean_latency_us=(
                         self.config.cycles_to_us(float(np.mean(latencies)))
-                        if latencies else math.nan
+                        if latencies else no_sample
                     ),
                     max_latency_us=(
                         self.config.cycles_to_us(float(np.max(latencies)))
-                        if latencies else math.nan
+                        if latencies else no_sample
                     ),
                     inference_top_s=(inf_total - before.inf_total) * to_top_s,
                     training_top_s=(train_total - before.train_total) * to_top_s,
@@ -441,6 +535,9 @@ class EquinoxAccelerator:
                          if self.training_engine else 0) - before.iterations
                     ),
                     events_processed=self.sim.events_processed,
+                    rejected_requests=self.fault_counters.rejected_requests,
+                    request_timeouts=self.fault_counters.request_timeouts,
+                    faults=self.fault_counters.snapshot(),
                 )
             )
         return reports
@@ -455,9 +552,25 @@ class EquinoxAccelerator:
         self.sim.run(until=self.sim.now + self.config.seconds_to_cycles(duration_s))
         return self._report(0.0)
 
+    @staticmethod
+    def _no_sample_latency_us(submitted: int) -> float:
+        """Latency placeholder when a window recorded no completions.
+
+        Offered traffic with zero completions is a *failed* run — its
+        tail latency is unbounded, so report ``inf`` (``meets_target``
+        can then never vacuously pass). No traffic at all is merely
+        unmeasured: ``nan``.
+        """
+        return math.inf if submitted > 0 else math.nan
+
     def _report(self, load: float) -> SimulationReport:
         window = self.sim.now
         has_latency = self.engine.latency.count > 0
+        no_sample = self._no_sample_latency_us(
+            self.dispatcher.requests_submitted
+        )
+        if self.slo_guard is not None:
+            self.slo_guard.flush()
         training_iters = (
             self.training_engine.iterations_completed
             if self.training_engine is not None else 0
@@ -473,15 +586,15 @@ class EquinoxAccelerator:
             incomplete_batches=self.dispatcher.incomplete_batches,
             p99_latency_us=(
                 self.config.cycles_to_us(self.engine.latency.p99())
-                if has_latency else math.nan
+                if has_latency else no_sample
             ),
             mean_latency_us=(
                 self.config.cycles_to_us(self.engine.latency.mean())
-                if has_latency else math.nan
+                if has_latency else no_sample
             ),
             max_latency_us=(
                 self.config.cycles_to_us(self.engine.latency.max())
-                if has_latency else math.nan
+                if has_latency else no_sample
             ),
             inference_top_s=self.mmu.context_top_s("inference", window),
             training_top_s=self.mmu.context_top_s("training", window),
@@ -490,4 +603,7 @@ class EquinoxAccelerator:
             dram_gb_s=self.hbm.achieved_gb_s(window),
             dram_utilization=self.hbm.utilization(window),
             events_processed=self.sim.events_processed,
+            rejected_requests=self.fault_counters.rejected_requests,
+            request_timeouts=self.fault_counters.request_timeouts,
+            faults=self.fault_counters.snapshot(),
         )

@@ -17,6 +17,15 @@ class InferenceRequest:
     arrival_cycle: float
     batched_cycle: Optional[float] = None
     completion_cycle: Optional[float] = None
+    #: Times this request was re-admitted after a queue-deadline expiry
+    #: (admission control with retries). Latency always measures from
+    #: the original arrival, so retries pay their full wait.
+    retries: int = 0
+    #: Set when the request exhausted its deadline budget and was
+    #: abandoned; it never completes and never records a latency.
+    timed_out: bool = False
+    #: Set when the admission queue shed this request on arrival.
+    rejected: bool = False
 
     @property
     def latency_cycles(self) -> float:

@@ -34,6 +34,15 @@ class SchedulingPolicy:
     #: Whether a training service can make progress at all.
     allows_training: bool = True
 
+    #: Degraded-mode override, driven by the SLO guard
+    #: (:class:`repro.faults.guard.SLOGuard`): while set, training is
+    #: preempted outright — no grant and no block commitment — so the
+    #: whole datapath drains the inference backlog.
+    degraded: bool = False
+
+    def set_degraded(self, degraded: bool) -> None:
+        self.degraded = degraded
+
     def select_queue(
         self,
         inference_ready: bool,
@@ -85,6 +94,8 @@ class PriorityScheduler(SchedulingPolicy):
         inference_backlog: int,
         last_granted: str,
     ) -> Optional[str]:
+        if self.degraded:
+            return INFERENCE if inference_ready else None
         spike = inference_backlog > self.queue_threshold
         if inference_ready and training_ready:
             if spike:
@@ -115,6 +126,8 @@ class FairScheduler(SchedulingPolicy):
         inference_backlog: int,
         last_granted: str,
     ) -> Optional[str]:
+        if self.degraded:
+            return INFERENCE if inference_ready else None
         if inference_ready and training_ready:
             return _alternate(last_granted)
         if inference_ready:
@@ -177,6 +190,8 @@ class SoftwareScheduler(SchedulingPolicy):
     def can_commit_training_block(
         self, inference_backlog: int, now: float
     ) -> bool:
+        if self.degraded:
+            return False
         if inference_backlog > 0:
             return False
         if not self.conservative:
@@ -195,7 +210,7 @@ class SoftwareScheduler(SchedulingPolicy):
         # plain FIFO there; the training queue stays unused.
         if inference_ready:
             return INFERENCE
-        if training_ready:
+        if training_ready and not self.degraded:
             return TRAINING
         return None
 

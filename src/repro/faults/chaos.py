@@ -1,0 +1,345 @@
+"""The chaos scenario matrix behind ``python -m repro chaos``.
+
+Each scenario is one seeded :class:`FaultPlan` (plus, where relevant,
+an admission-control policy or a fleet round timeout) driven against
+the same workload. Every scenario is executed **twice** and the two
+reports compared by value — the printed table therefore doubles as a
+determinism self-check: a ``FAIL`` in the ``repro`` column means fault
+injection perturbed state outside its seeded substreams.
+
+The table reports degradation relative to the fault-free control arm:
+p99 latency and harvested training throughput for single-accelerator
+scenarios, samples/s and surviving-worker counts for fleet scenarios.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.fleet import EquinoxFleet
+from repro.core.equinox import EquinoxAccelerator
+from repro.dse.table1 import equinox_configuration
+from repro.faults.admission import AdmissionControl
+from repro.faults.plan import (
+    FaultPlan,
+    HBMFaultSpec,
+    MMUFaultSpec,
+    RequestFaultSpec,
+    WorkerFaultSpec,
+)
+from repro.models.lstm import deepbench_lstm
+
+#: Design point and drive level for every scenario: modest load on the
+#: default latency class keeps the whole matrix CI-friendly while still
+#: queueing enough work for faults to matter.
+LATENCY_CLASS = "500us"
+DEFAULT_LOAD = 0.6
+DEFAULT_REQUESTS = 320
+FLEET_SIZE = 4
+FLEET_BATCHES = 2
+FLEET_MIN_WORKERS = 2
+#: Fleet barrier timeout as a multiple of the fault-free iteration time
+#: (self-calibrated from the fleet control arm each run).
+ROUND_TIMEOUT_X = 2.0
+#: Straggler slowdown in the fleet scenario — chosen to overshoot the
+#: round timeout so partial aggregation actually triggers.
+STRAGGLER_SLOWDOWN = 4.0
+
+
+@dataclass(frozen=True)
+class ChaosRow:
+    """One scenario's outcome (single-accelerator or fleet)."""
+
+    name: str
+    description: str
+    kind: str  # "accel" | "fleet"
+    p99_latency_us: float
+    training_top_s: float
+    samples_per_s: float
+    faults_injected: int
+    recoveries: int
+    notable: Dict[str, float]
+    reproducible: bool
+    workers_aggregated: int = 0
+    workers_dropped: int = 0
+
+
+def _accel_key(report) -> Tuple:
+    return (
+        report.p99_latency_us,
+        report.mean_latency_us,
+        report.training_top_s,
+        report.inference_top_s,
+        report.requests_completed,
+        report.rejected_requests,
+        report.request_timeouts,
+        tuple(sorted(report.faults.as_dict().items())),
+    )
+
+
+def _fleet_key(report) -> Tuple:
+    return (
+        report.samples_per_s,
+        report.fleet_training_top_s,
+        report.round.workers_aggregated,
+        report.round.workers_dropped,
+        tuple(w.p99_latency_us for w in report.workers),
+        tuple(sorted(report.faults.as_dict().items())),
+    )
+
+
+def _run_accel(
+    plan: Optional[FaultPlan],
+    admission: Optional[AdmissionControl],
+    load: float,
+    requests: int,
+    seed: int,
+):
+    config = equinox_configuration(LATENCY_CLASS)
+    model = deepbench_lstm()
+    accelerator = EquinoxAccelerator(
+        config,
+        model,
+        training_model=model,
+        fault_plan=plan,
+        admission=admission,
+    )
+    return accelerator.run(load=load, requests=requests, seed=seed)
+
+
+def _run_fleet(
+    plan: Optional[FaultPlan],
+    round_timeout_s: Optional[float],
+    load: float,
+    seed: int,
+):
+    fleet = EquinoxFleet(
+        FLEET_SIZE,
+        latency_class=LATENCY_CLASS,
+        fault_plan=plan,
+        round_timeout_s=round_timeout_s,
+        min_workers=FLEET_MIN_WORKERS,
+    )
+    return fleet.train(
+        [load] * FLEET_SIZE, batches=FLEET_BATCHES, seed=seed
+    )
+
+
+def _accel_row(
+    name: str,
+    description: str,
+    plan: Optional[FaultPlan],
+    admission: Optional[AdmissionControl],
+    load: float,
+    requests: int,
+    seed: int,
+) -> ChaosRow:
+    first = _run_accel(plan, admission, load, requests, seed)
+    second = _run_accel(plan, admission, load, requests, seed)
+    return ChaosRow(
+        name=name,
+        description=description,
+        kind="accel",
+        p99_latency_us=first.p99_latency_us,
+        training_top_s=first.training_top_s,
+        samples_per_s=0.0,
+        faults_injected=first.faults.faults_injected,
+        recoveries=first.faults.recoveries,
+        notable=first.faults.nonzero(),
+        reproducible=_accel_key(first) == _accel_key(second),
+    )
+
+
+def _fleet_row(
+    name: str,
+    description: str,
+    plan: Optional[FaultPlan],
+    round_timeout_s: Optional[float],
+    load: float,
+    seed: int,
+) -> Tuple[ChaosRow, object]:
+    first = _run_fleet(plan, round_timeout_s, load, seed)
+    second = _run_fleet(plan, round_timeout_s, load, seed)
+    worst_p99 = max(w.p99_latency_us for w in first.workers)
+    row = ChaosRow(
+        name=name,
+        description=description,
+        kind="fleet",
+        p99_latency_us=worst_p99,
+        training_top_s=first.fleet_training_top_s,
+        samples_per_s=first.samples_per_s,
+        faults_injected=first.faults.faults_injected,
+        recoveries=first.faults.recoveries,
+        notable=first.faults.nonzero(),
+        reproducible=_fleet_key(first) == _fleet_key(second),
+        workers_aggregated=first.round.workers_aggregated,
+        workers_dropped=first.round.workers_dropped,
+    )
+    return row, first
+
+
+def run(
+    load: float = DEFAULT_LOAD,
+    requests: int = DEFAULT_REQUESTS,
+    seed: int = 7,
+) -> Dict:
+    """Execute the chaos matrix and return the scenario rows.
+
+    Args:
+        load: Offered inference load (fraction of saturation) for every
+            scenario.
+        requests: Requests measured per single-accelerator scenario.
+        seed: Base seed for both the arrival processes and the fault
+            plans.
+    """
+    config = equinox_configuration(LATENCY_CLASS)
+    # One throwaway accelerator to express deadlines/queues in units of
+    # the design point's own service time.
+    probe = EquinoxAccelerator(config, deepbench_lstm())
+    service_cycles = probe.batch_service_cycles()
+    slots = probe.batch_slots
+
+    rows: List[ChaosRow] = []
+    rows.append(
+        _accel_row(
+            "baseline", "fault-free control arm", None, None,
+            load, requests, seed,
+        )
+    )
+    rows.append(
+        _accel_row(
+            "hbm_ecc",
+            "transient HBM ECC errors, bounded retry",
+            FaultPlan(seed=seed, hbm=HBMFaultSpec(error_rate=0.05, max_retries=3)),
+            None, load, requests, seed,
+        )
+    )
+    rows.append(
+        _accel_row(
+            "tile_stalls",
+            "tile/PE stalls inflating MMU occupancy",
+            FaultPlan(
+                seed=seed,
+                mmu=MMUFaultSpec(stall_rate=0.10, stall_cycles=0.25 * service_cycles),
+            ),
+            None, load, requests, seed,
+        )
+    )
+    rows.append(
+        _accel_row(
+            "lossy_frontend",
+            "request drops and wire delays",
+            FaultPlan(
+                seed=seed,
+                requests=RequestFaultSpec(
+                    drop_rate=0.05,
+                    delay_rate=0.10,
+                    delay_cycles=0.5 * service_cycles,
+                ),
+            ),
+            None, load, requests, seed,
+        )
+    )
+    rows.append(
+        _accel_row(
+            "overload_shed",
+            "delay faults vs bounded queue + deadlines",
+            FaultPlan(
+                seed=seed,
+                requests=RequestFaultSpec(
+                    delay_rate=0.25, delay_cycles=2.0 * service_cycles
+                ),
+            ),
+            AdmissionControl(
+                max_queue_requests=4 * slots,
+                deadline_cycles=8.0 * service_cycles,
+                max_retries=1,
+                backoff_cycles=0.5 * service_cycles,
+            ),
+            load, requests, seed,
+        )
+    )
+
+    fleet_baseline, fleet_report = _fleet_row(
+        "fleet_baseline",
+        f"{FLEET_SIZE}-worker fleet, fault-free",
+        None, None, load, seed,
+    )
+    rows.append(fleet_baseline)
+    # Self-calibrate the barrier timeout off the fault-free round so the
+    # chaos straggler (slowed STRAGGLER_SLOWDOWN×) lands beyond it.
+    healthy_iteration_s = fleet_report.round.compute_s
+    chaos_row, _ = _fleet_row(
+        "fleet_chaos",
+        "HBM errors + 1 crash + 1 straggler, partial aggregation",
+        FaultPlan(
+            seed=seed,
+            hbm=HBMFaultSpec(error_rate=0.005, max_retries=3),
+            workers=WorkerFaultSpec(
+                crashed=(FLEET_SIZE - 1,),
+                stragglers=((1, STRAGGLER_SLOWDOWN),),
+            ),
+        ),
+        ROUND_TIMEOUT_X * healthy_iteration_s,
+        load, seed,
+    )
+    rows.append(chaos_row)
+    return {"rows": rows, "load": load, "requests": requests, "seed": seed}
+
+
+def _ratio(value: float, base: float) -> str:
+    if base <= 0 or value != value or value == float("inf"):
+        return "—" if value != value else "inf"
+    return f"{value / base:5.2f}x"
+
+
+def render(result: Dict) -> str:
+    """Format the degradation table."""
+    rows: List[ChaosRow] = result["rows"]
+    base = {r.kind: r for r in rows if r.name.endswith("baseline")}
+    lines = [
+        "Chaos matrix "
+        f"(load={result['load']:g}, requests={result['requests']}, "
+        f"seed={result['seed']}) — degradation vs fault-free baseline",
+        "",
+        f"{'scenario':<16} {'p99 (us)':>10} {'vs base':>8} "
+        f"{'train TOP/s':>12} {'vs base':>8} {'inj':>5} {'rec':>5} "
+        f"{'workers':>8} {'repro':>6}",
+    ]
+    lines.append("-" * len(lines[-1]))
+    for row in rows:
+        baseline = base.get(row.kind)
+        p99_ratio = (
+            _ratio(row.p99_latency_us, baseline.p99_latency_us)
+            if baseline and baseline is not row
+            else "  1.00x"
+        )
+        top_ratio = (
+            _ratio(row.training_top_s, baseline.training_top_s)
+            if baseline and baseline is not row
+            else "  1.00x"
+        )
+        workers = (
+            f"{row.workers_aggregated}/{FLEET_SIZE}"
+            if row.kind == "fleet"
+            else "—"
+        )
+        lines.append(
+            f"{row.name:<16} {row.p99_latency_us:>10.1f} {p99_ratio:>8} "
+            f"{row.training_top_s:>12.3f} {top_ratio:>8} "
+            f"{row.faults_injected:>5d} {row.recoveries:>5d} "
+            f"{workers:>8} {'ok' if row.reproducible else 'FAIL':>6}"
+        )
+    lines.append("")
+    for row in rows:
+        if row.notable:
+            detail = ", ".join(
+                f"{k}={v:g}" for k, v in sorted(row.notable.items())
+            )
+            lines.append(f"  {row.name}: {detail}")
+    bad = [r.name for r in rows if not r.reproducible]
+    lines.append("")
+    lines.append(
+        "determinism self-check: every scenario ran twice from its seed — "
+        + ("all reports identical" if not bad else f"MISMATCH in {bad}")
+    )
+    return "\n".join(lines)

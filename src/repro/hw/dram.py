@@ -9,6 +9,14 @@ against DRAMSim for 512-bit blocks.
 Inference traffic (rare — models are resident on chip) gets priority
 over training traffic so that piggybacking never delays an inference
 weight or I/O transfer.
+
+Fault model: with a :class:`repro.faults.injector.FaultInjector`
+attached, a completed transfer may carry a transient ECC error and be
+retried — the whole block stream re-crosses the channel (at the same
+priority), so retries consume real bandwidth and delay whoever waits
+on the transfer. Retries are *bounded* per transfer; an exhausted
+budget falls back to the slow host-side correction path (delivered,
+counted ``hbm_retry_exhausted``) rather than wedging the pipeline.
 """
 
 from typing import Callable, Optional
@@ -20,6 +28,10 @@ from repro.sim.resources import BandwidthChannel
 #: Queue priorities on the DRAM channel.
 PRIORITY_INFERENCE = 0
 PRIORITY_TRAINING = 1
+
+#: ``bytes_by_kind`` tag under which ECC-retry traffic is accounted, so
+#: retry bandwidth never masquerades as useful stream bytes.
+ECC_RETRY_KIND = "ecc_retry"
 
 
 class HBMInterface:
@@ -35,6 +47,11 @@ class HBMInterface:
             name="hbm",
         )
         self.bytes_by_kind: dict = {}
+        self._fault_injector = None
+
+    def set_fault_injector(self, injector) -> None:
+        """Attach a fault injector sampling transient ECC errors."""
+        self._fault_injector = injector
 
     @property
     def queue_depth(self) -> int:
@@ -63,7 +80,41 @@ class HBMInterface:
             if on_done is not None:
                 self.sim.after(0.0, on_done)
             return
-        self._channel.transfer(aligned, on_done=on_done, priority=priority, tag=kind)
+        injector = self._fault_injector
+        if injector is None or not injector.plan.hbm.enabled:
+            self._channel.transfer(
+                aligned, on_done=on_done, priority=priority, tag=kind
+            )
+            return
+
+        # Faulty path: each completion may carry a transient ECC error;
+        # the stream re-crosses the channel up to the bounded retry
+        # budget. Fire-and-forget transfers (write-backs with no
+        # on_done) retry too — their bandwidth is just as real.
+        attempts = [0]
+
+        def _complete() -> None:
+            if injector.hbm_transfer_error():
+                if attempts[0] < injector.hbm_max_retries:
+                    attempts[0] += 1
+                    injector.note_hbm_retry()
+                    self.bytes_by_kind[ECC_RETRY_KIND] = (
+                        self.bytes_by_kind.get(ECC_RETRY_KIND, 0.0) + aligned
+                    )
+                    self._channel.transfer(
+                        aligned,
+                        on_done=_complete,
+                        priority=priority,
+                        tag=ECC_RETRY_KIND,
+                    )
+                    return
+                injector.note_hbm_retry_exhausted()
+            if on_done is not None:
+                on_done()
+
+        self._channel.transfer(
+            aligned, on_done=_complete, priority=priority, tag=kind
+        )
 
     def utilization(self, window_cycles: Optional[float] = None) -> float:
         """Fraction of peak bandwidth consumed."""

@@ -64,6 +64,7 @@ class MatrixMultiplyUnit:
         }
         self._policy = None  # set via set_policy; None = FIFO inference first
         self._pressure_fn: Callable[[], int] = lambda: 0
+        self._fault_injector = None
         self._busy = False
         self._last_granted = TRAINING  # so the first round-robin pick is inference
         self.accounting = CycleAccounting()
@@ -82,6 +83,10 @@ class MatrixMultiplyUnit:
         self._policy = policy
         if pressure_fn is not None:
             self._pressure_fn = pressure_fn
+
+    def set_fault_injector(self, injector) -> None:
+        """Attach a fault injector sampling tile/PE stalls per job."""
+        self._fault_injector = injector
 
     # ------------------------------------------------------------------
     # Queue state
@@ -162,6 +167,14 @@ class MatrixMultiplyUnit:
         dummy = job.cycles * job.utilization * (1.0 - real_frac)
         other = job.cycles * (1.0 - job.utilization)
         useful_ops = 2.0 * job.macs * job.utilization * real_frac
+        # Injected tile/PE stall: the job holds the unit for extra
+        # cycles doing no useful work — Figure 8's "other" category.
+        stall = (
+            self._fault_injector.mmu_stall_cycles()
+            if self._fault_injector is not None else 0.0
+        )
+        occupancy = job.cycles + stall
+        other += stall
 
         self._busy = True
         self.jobs_issued += 1
@@ -172,9 +185,9 @@ class MatrixMultiplyUnit:
             self._busy = False
             # Accounting accrues at completion so a measurement window
             # never contains cycles that have not elapsed yet.
-            self.busy_cycles += job.cycles
+            self.busy_cycles += occupancy
             self.busy_by_context[entry.context] = (
-                self.busy_by_context.get(entry.context, 0.0) + job.cycles
+                self.busy_by_context.get(entry.context, 0.0) + occupancy
             )
             self.accounting.add("working", working)
             self.accounting.add("dummy", dummy)
@@ -190,7 +203,7 @@ class MatrixMultiplyUnit:
                 self.sim.after(self.config.pipeline_drain_cycles, entry.on_done)
             self.pump()
 
-        self.sim.after(job.cycles, _issue_complete)
+        self.sim.after(occupancy, _issue_complete)
 
     # ------------------------------------------------------------------
     # Measurements

@@ -104,8 +104,52 @@ class Simulator:
         if until is not None and self.now < until:
             self.now = float(until)
 
+    def every(
+        self, interval: float, callback: Callable[[], None]
+    ) -> "RecurringEvent":
+        """Schedule ``callback`` every ``interval`` cycles until cancelled.
+
+        The first firing is one interval from now. Recurring events are
+        the watchdog primitive of the fault-tolerance layer (the SLO
+        guard samples backlog on one); they reschedule themselves, so a
+        simulation holding a live recurring event never drains — cancel
+        it when the observed experiment ends.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        return RecurringEvent(self, float(interval), callback)
+
     def peek(self) -> Optional[float]:
         """Timestamp of the next live event, or None when drained."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
+
+
+class RecurringEvent:
+    """A self-rescheduling periodic callback (see :meth:`Simulator.every`).
+
+    ``cancel`` stops future firings; a firing in flight at cancel time
+    is skipped via the underlying event's cancellation.
+    """
+
+    __slots__ = ("sim", "interval", "callback", "cancelled", "_event")
+
+    def __init__(
+        self, sim: Simulator, interval: float, callback: Callable[[], None]
+    ):
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self.cancelled = False
+        self._event = sim.after(interval, self._fire)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.callback()
+        self._event = self.sim.after(self.interval, self._fire)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self._event.cancel()

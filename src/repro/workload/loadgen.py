@@ -3,11 +3,21 @@
 Online inference tiers see Poisson-like request arrivals (paper §5);
 the generators here produce inter-arrival gaps in cycles for the
 simulator's arrival loop. All processes are deterministic given a seed.
+
+:class:`FaultyArrivals` decorates any base process with front-end
+network faults from a :class:`repro.faults.plan.RequestFaultSpec`:
+dropped requests (the arrival never happens — consecutive gaps merge)
+and delayed requests (the arrival, and the stream behind it, reaches
+the queue late). Both are sampled from a seeded fault-plan substream,
+so a lossy trace replays identically.
 """
 
-from typing import Iterator, Sequence
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
+
+from repro.faults.counters import FaultCounters
+from repro.faults.plan import FaultPlan
 
 
 class ArrivalProcess:
@@ -46,6 +56,48 @@ class UniformArrivals(ArrivalProcess):
 
     def next_gap(self) -> float:
         return self.gap_cycles
+
+
+class FaultyArrivals(ArrivalProcess):
+    """A base arrival process seen through a lossy, laggy front end.
+
+    Drops thin the stream (a dropped request's gap merges into the
+    next survivor's), delays stretch it; both are counted in the shared
+    :class:`FaultCounters` so reports show how much offered load the
+    network itself destroyed.
+
+    Attributes:
+        base: The undisturbed arrival process.
+        plan: The fault plan whose ``requests`` spec and seed drive the
+            injection (substream ``"arrivals"``).
+        counters: Shared fault/recovery counters.
+    """
+
+    def __init__(
+        self,
+        base: ArrivalProcess,
+        plan: FaultPlan,
+        counters: Optional[FaultCounters] = None,
+    ):
+        self.base = base
+        self.spec = plan.requests
+        self.counters = counters if counters is not None else FaultCounters()
+        self._rng = plan.rng("arrivals")
+
+    def next_gap(self) -> float:
+        spec = self.spec
+        gap = self.base.next_gap()
+        while spec.drop_rate > 0 and self._rng.random() < spec.drop_rate:
+            self.counters.requests_dropped += 1
+            gap += self.base.next_gap()
+        if (
+            spec.delay_rate > 0
+            and spec.delay_cycles > 0
+            and self._rng.random() < spec.delay_rate
+        ):
+            self.counters.requests_delayed += 1
+            gap += spec.delay_cycles
+        return gap
 
 
 class TraceArrivals(ArrivalProcess):

@@ -1,0 +1,60 @@
+"""The ``python -m repro chaos`` scenario matrix and its rendering."""
+
+import pytest
+
+from repro.faults import chaos
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Small drive keeps the matrix fast; the scenarios themselves are
+    # the shipped ones.
+    return chaos.run(load=0.5, requests=96, seed=3)
+
+
+class TestChaosMatrix:
+    def test_all_scenarios_present(self, result):
+        names = [row.name for row in result["rows"]]
+        assert names == [
+            "baseline", "hbm_ecc", "tile_stalls", "lossy_frontend",
+            "overload_shed", "fleet_baseline", "fleet_chaos",
+        ]
+
+    def test_baseline_is_clean(self, result):
+        baseline = result["rows"][0]
+        assert baseline.faults_injected == 0
+        assert baseline.recoveries == 0
+
+    def test_fault_scenarios_inject(self, result):
+        by_name = {row.name: row for row in result["rows"]}
+        for name in ("hbm_ecc", "tile_stalls", "lossy_frontend", "fleet_chaos"):
+            assert by_name[name].faults_injected > 0, name
+
+    def test_every_scenario_reproducible(self, result):
+        assert all(row.reproducible for row in result["rows"])
+
+    def test_fleet_chaos_aggregates_partially(self, result):
+        row = {r.name: r for r in result["rows"]}["fleet_chaos"]
+        assert row.workers_aggregated < chaos.FLEET_SIZE
+        assert row.workers_dropped >= 1
+        assert row.notable.get("workers_crashed") == 1
+
+    def test_render_is_a_table(self, result):
+        text = chaos.render(result)
+        for row in result["rows"]:
+            assert row.name in text
+        assert "determinism self-check" in text
+        assert "FAIL" not in text
+
+
+class TestCLI:
+    def test_main_chaos_exit_code(self, capsys):
+        from repro.__main__ import main
+
+        code = main([
+            "chaos", "--load", "0.5", "--requests", "64", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Chaos matrix" in out
+        assert "fleet_chaos" in out
