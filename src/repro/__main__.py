@@ -2,20 +2,28 @@
 
     python -m repro list
     python -m repro table1
-    python -m repro fig9 --loads 0.2 0.6 0.95
+    python -m repro fig9 --loads 0.2 0.6 0.95 --report-dir artifacts
     python -m repro all
     python -m repro analyze --format json --fail-on error
-    python -m repro chaos --seed 7
+    python -m repro chaos --seed 7 --report-dir artifacts
+    python -m repro metrics smoke --out artifacts/smoke.json
+    python -m repro metrics validate artifacts/smoke.json
 
 Experiment subcommands print the same text tables the benchmark harness
-produces; ``all`` regenerates the full evaluation in one go. The
-``analyze`` subcommand runs the static program verifier and codebase
-lint (see :mod:`repro.analysis`); ``chaos`` runs the seeded
-fault-injection scenario matrix (see :mod:`repro.faults.chaos`) and
-prints the degradation table with its determinism self-check.
+produces; ``all`` regenerates the full evaluation in one go. With
+``--report-dir``, each experiment additionally writes its structured
+JSON :class:`repro.obs.RunReport` artifact (schema-validated) into that
+directory. The ``analyze`` subcommand runs the static program verifier
+and codebase lint (see :mod:`repro.analysis`); ``chaos`` runs the
+seeded fault-injection scenario matrix (see :mod:`repro.faults.chaos`)
+and prints the degradation table with its determinism self-check;
+``metrics`` dumps, validates and diffs run artifacts (see
+:mod:`repro.obs.cli`).
 """
 
 import argparse
+import json
+import os
 import sys
 import time
 
@@ -39,7 +47,22 @@ EXPERIMENTS = {
 }
 
 
-def _run_one(name: str, loads) -> None:
+def _write_artifact(report, directory: str) -> None:
+    """Validate one RunReport and write it as ``<dir>/<name>.json``."""
+    from repro.obs import validate_report
+
+    text = report.to_json()
+    problems = validate_report(json.loads(text))
+    for problem in problems:
+        print(f"invalid artifact {report.name}: {problem}", file=sys.stderr)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{report.name}.json")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print(f"[artifact] {path}")
+
+
+def _run_one(name: str, loads, report_dir=None) -> None:
     module, _ = EXPERIMENTS[name]
     kwargs = {}
     if loads and hasattr(module.run, "__code__") and (
@@ -47,7 +70,14 @@ def _run_one(name: str, loads) -> None:
     ):
         kwargs["loads"] = tuple(loads)
     started = time.time()
-    result = module.run(**kwargs)
+    if report_dir is not None:
+        from repro.eval.runner import capture_run
+
+        with capture_run(name) as capture:
+            result = module.run(**kwargs)
+        _write_artifact(capture.build_report(), report_dir)
+    else:
+        result = module.run(**kwargs)
     print(module.render(result))
     print(f"\n[{name} completed in {time.time() - started:.1f}s]\n")
 
@@ -68,6 +98,11 @@ def _build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--loads", type=float, nargs="+", default=None,
             help="override the offered-load grid for load-sweep experiments",
+        )
+        sub.add_argument(
+            "--report-dir", default=None,
+            help="also write the structured RunReport artifact "
+            "(<dir>/<experiment>.json)",
         )
     subparsers.add_parser("list", help="show experiment descriptions")
 
@@ -101,6 +136,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None,
         help="base seed for arrivals and fault plans",
     )
+    chaos.add_argument(
+        "--report-dir", default=None,
+        help="write one RunReport artifact per scenario into this "
+        "directory (<dir>/chaos.<scenario>.json)",
+    )
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="dump, validate and diff structured run artifacts",
+        description="Emit the smoke-run or an experiment's RunReport "
+        "artifact, validate artifacts against the schema (failing on "
+        "any NaN latency/throughput), or diff two artifacts.",
+    )
+    from repro.obs import cli as metrics_cli
+
+    metrics_cli.add_arguments(metrics)
     return parser
 
 
@@ -131,13 +182,20 @@ def main(argv=None) -> int:
         result = chaos_mod.run(**kwargs)
         print(chaos_mod.render(result))
         print(f"\n[chaos completed in {time.time() - started:.1f}s]\n")
+        if args.report_dir is not None:
+            for artifact in result["artifacts"].values():
+                _write_artifact(artifact, args.report_dir)
         rows = result["rows"]
         return 0 if all(r.reproducible for r in rows) else 1
+    if args.command == "metrics":
+        from repro.obs import cli as metrics_cli
+
+        return metrics_cli.run(args)
     names = (
         sorted(EXPERIMENTS) if args.command == "all" else [args.command]
     )
     for name in names:
-        _run_one(name, args.loads)
+        _run_one(name, args.loads, report_dir=args.report_dir)
     return 0
 
 

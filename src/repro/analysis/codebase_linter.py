@@ -20,6 +20,11 @@ parsed module. Shipping rules:
   handler neither breaks, returns nor re-raises: the failure path spins
   forever. Retries must carry a budget, like the fault subsystem's
   bounded HBM retry and admission-control ``max_retries``.
+* **EQX306 direct-percentile** — ``np.percentile`` calls outside
+  ``repro.obs`` and ``repro.sim.stats``. Latency samples carry ``inf``
+  sentinels for timed-out requests, which plain ``np.percentile``
+  propagates as ``nan``; every percentile must go through
+  ``inf_aware_percentile``, ``LatencyStats`` or the artifact sketch.
 
 Suppression: append ``# eqx: ignore[EQX301]`` (or ``# eqx: ignore`` for
 all rules) to the offending line. Suppressions are deliberate
@@ -352,6 +357,39 @@ class UnboundedRetryRule(LintRule):
         return diags
 
 
+class DirectPercentileRule(LintRule):
+    """EQX306: np.percentile bypassing the inf-aware stats layer."""
+
+    rule = rules.DIRECT_PERCENTILE
+
+    _TARGETS = ("np.percentile", "numpy.percentile")
+
+    def applies_to(self, context: LintContext) -> bool:
+        # The observability package and the stats module *implement* the
+        # sanctioned percentile paths (and test their equivalence to
+        # numpy on finite data).
+        if context.in_package("obs"):
+            return False
+        return not context.module_path.endswith("sim/stats.py")
+
+    def check(self, tree: ast.Module, context: LintContext) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted_name(node.func)
+            if name in self._TARGETS:
+                diags.append(rules.diagnostic(
+                    self.rule,
+                    f"{name}() bypasses the inf-aware stats layer: "
+                    "latency samples use inf sentinels, which this turns "
+                    "into nan — use repro.sim.stats.inf_aware_percentile "
+                    "or LatencyStats/QuantileSketch",
+                    file=context.path, line=node.lineno,
+                ))
+        return diags
+
+
 #: The shipped rule set, in catalog order.
 DEFAULT_RULES: Tuple[LintRule, ...] = (
     DtypeLeakRule(),
@@ -359,6 +397,7 @@ DEFAULT_RULES: Tuple[LintRule, ...] = (
     SwallowedExceptionRule(),
     UnusedImportRule(),
     UnboundedRetryRule(),
+    DirectPercentileRule(),
 )
 
 

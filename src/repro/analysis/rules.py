@@ -131,6 +131,13 @@ UNBOUNDED_RETRY = _register(Rule(
     "returns nor re-raises can spin forever; recovery must be bounded "
     "(the fault subsystem's retry budgets exist for a reason).",
 ))
+DIRECT_PERCENTILE = _register(Rule(
+    "EQX306", "direct-percentile", Severity.ERROR,
+    "np.percentile called outside repro.obs / repro.sim.stats: ad-hoc "
+    "percentiles diverge from the inf-aware convention (timed-out "
+    "requests carry an inf sentinel) and from the artifact sketch — "
+    "use inf_aware_percentile / LatencyStats / QuantileSketch.",
+))
 
 
 def catalog() -> List[Rule]:

@@ -32,6 +32,7 @@ from repro.faults import (
 from repro.models.graph import ModelSpec
 from repro.models.lstm import deepbench_lstm
 from repro.models.training import build_training_plan
+from repro.obs.report import RunReport
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,8 @@ class WorkerReport:
     inference_top_s: float
     p99_latency_us: float
     iteration_s: float
+    #: Median latency (defaulted for checkpoints from older rounds).
+    p50_latency_us: float = float("nan")
 
 
 @dataclass(frozen=True)
@@ -231,6 +234,7 @@ class EquinoxFleet:
             inference_top_s=report.inference_top_s,
             p99_latency_us=report.p99_latency_us,
             iteration_s=iteration_s,
+            p50_latency_us=report.p50_latency_us,
         )
 
     def train(
@@ -337,4 +341,56 @@ class EquinoxFleet:
             fleet_training_top_s=fleet_top_s,
             dedicated_top_s=self.plan.dedicated_throughput_top_s(),
             faults=self.fault_counters.snapshot(),
+        )
+
+    def run_report(self, fleet_report: FleetReport, name: str) -> RunReport:
+        """Package one fleet round as the structured JSON artifact.
+
+        The fleet's headline latency is its *worst* worker (a
+        synchronous round is only as good as its slowest member);
+        per-worker figures land under ``metrics``.
+        """
+
+        def _worst(values: List[float]) -> Optional[float]:
+            measured = [v for v in values if v == v]  # drop NaN
+            return max(measured) if measured else None
+
+        workers = fleet_report.workers
+        faults = fleet_report.faults.as_dict()
+        per_worker = {
+            f"worker_{w.worker_id}": {
+                "load": w.load,
+                "training_top_s": w.training_top_s,
+                "inference_top_s": w.inference_top_s,
+                "p50_latency_us": w.p50_latency_us,
+                "p99_latency_us": w.p99_latency_us,
+                "iteration_s": w.iteration_s,
+            }
+            for w in workers
+        }
+        return RunReport(
+            name=name,
+            kind="fleet",
+            config={
+                "size": self.size,
+                "latency_class": self.latency_class,
+                "training_batch": self.training_batch,
+                "min_workers": self.min_workers,
+            },
+            latency_us={
+                "p50": _worst([w.p50_latency_us for w in workers]),
+                "p99": _worst([w.p99_latency_us for w in workers]),
+            },
+            throughput_top_s={
+                "inference": sum(w.inference_top_s for w in workers),
+                "training": fleet_report.fleet_training_top_s,
+            },
+            faults={key: float(faults[key]) for key in sorted(faults)},
+            metrics={
+                "samples_per_s": fleet_report.samples_per_s,
+                "dedicated_top_s": fleet_report.dedicated_top_s,
+                "dedicated_equivalents": fleet_report.dedicated_equivalents,
+                "workers_aggregated": fleet_report.round.workers_aggregated,
+                "workers": per_worker,
+            },
         )

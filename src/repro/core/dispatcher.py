@@ -29,6 +29,7 @@ from repro.hw.dram import HBMInterface, PRIORITY_TRAINING
 from repro.hw.isa import Program
 from repro.hw.mmu import MatrixMultiplyUnit
 from repro.hw.simd import SIMDUnit
+from repro.obs.spans import SpanTracer
 from repro.sim.engine import Event, Simulator
 from repro.sim.stats import LatencyStats
 
@@ -58,12 +59,14 @@ class RequestDispatcher:
         on_batch: Callable[[Batch], None],
         admission: Optional[AdmissionControl] = None,
         counters: Optional[FaultCounters] = None,
+        spans: Optional[SpanTracer] = None,
     ):
         self.sim = sim
         self.policy = policy
         self.on_batch = on_batch
         self.admission = admission
         self.counters = counters if counters is not None else FaultCounters()
+        self.spans = spans
         self._buffer: Deque[InferenceRequest] = deque()
         self._deadline_event: Optional[Event] = None
         self._timeout_events: Dict[int, Event] = {}
@@ -176,6 +179,12 @@ class RequestDispatcher:
             self.incomplete_batches += 1
         for request in taken:
             request.batched_cycle = self.sim.now
+            if self.spans is not None:
+                # Retroactive: the request record already stamped both
+                # endpoints of its formation wait.
+                self.spans.record(
+                    "request.queue", request.arrival_cycle, self.sim.now
+                )
             timeout = self._timeout_events.pop(request.request_id, None)
             if timeout is not None:
                 timeout.cancel()
@@ -210,6 +219,18 @@ class RequestDispatcher:
         while self._buffer:
             self._form()
 
+    def metrics(self) -> Dict[str, float]:
+        """Deferred-source view for a ``MetricsRegistry``."""
+        return {
+            "queue_size": float(self.queue_size),
+            "requests_submitted": float(self.requests_submitted),
+            "batches_formed": float(self.batches_formed),
+            "incomplete_batches": float(self.incomplete_batches),
+            "rejected_requests": float(self.rejected_requests),
+            "request_timeouts": float(self.request_timeouts),
+            "request_retries": float(self.request_retries),
+        }
+
 
 class InferenceEngine:
     """Walks inference batch programs through the datapath models."""
@@ -224,6 +245,7 @@ class InferenceEngine:
         scheduler: SchedulingPolicy,
         max_inflight: int = 2,
         verify: bool = True,
+        spans: Optional[SpanTracer] = None,
     ):
         if max_inflight < 1:
             raise ValueError("need at least one batch in flight")
@@ -239,6 +261,7 @@ class InferenceEngine:
         self.program = program
         self.scheduler = scheduler
         self.max_inflight = max_inflight
+        self.spans = spans
         self._queue: Deque[Batch] = deque()
         self._inflight = 0
         self.latency = LatencyStats()
@@ -264,6 +287,7 @@ class InferenceEngine:
     def _try_start(self) -> None:
         while self._inflight < self.max_inflight and self._queue:
             batch = self._queue.popleft()
+            batch.started_cycle = self.sim.now
             self._inflight += 1
             self._run_step(batch, 0)
 
@@ -304,6 +328,16 @@ class InferenceEngine:
         batch.complete(self.sim.now)
         self.batches_completed += 1
         self.requests_completed += batch.real_count
+        if self.spans is not None:
+            start = (
+                batch.started_cycle
+                if batch.started_cycle is not None else batch.formed_cycle
+            )
+            self.spans.record("request.execute", start, self.sim.now)
+            for request in batch.requests:
+                self.spans.record(
+                    "request", request.arrival_cycle, self.sim.now
+                )
         for request in batch.requests:
             self.latency.record(request.latency_cycles)
         self._inflight -= 1
@@ -337,6 +371,7 @@ class TrainingEngine:
         scheduler: SchedulingPolicy,
         inference_queue_size: Callable[[], int],
         verify: bool = True,
+        spans: Optional[SpanTracer] = None,
     ):
         if verify:
             # Training programs must additionally respect the < 2 %
@@ -350,6 +385,7 @@ class TrainingEngine:
         self.program = program
         self.scheduler = scheduler
         self.inference_queue_size = inference_queue_size
+        self.spans = spans
         self.iterations: List[TrainingIterationRecord] = []
         self.jobs_issued = 0
         self._started = False
@@ -362,6 +398,7 @@ class TrainingEngine:
         self._inflight_prefetch_bytes = 0.0
         self._prefetch_outstanding = 0
         self._iteration_start = 0.0
+        self._exec_step_started = 0.0
         self._committed_step = -1  # software-scheduling block commitment
 
     # ------------------------------------------------------------------
@@ -378,6 +415,7 @@ class TrainingEngine:
             raise RuntimeError("training engine already started")
         self._started = True
         self._iteration_start = self.sim.now
+        self._exec_step_started = self.sim.now
         self._maybe_prefetch()
 
     def poke(self) -> None:
@@ -440,10 +478,15 @@ class TrainingEngine:
         self._prefetch_cursor = (step_idx, job_idx + 1)
         self._prefetch_outstanding += 1
         self._inflight_prefetch_bytes += stream
+        prefetch_issued = self.sim.now
 
         def _staged() -> None:
             self._inflight_prefetch_bytes -= stream
             self._staged_bytes += stream
+            if self.spans is not None:
+                self.spans.record(
+                    "train.prefetch", prefetch_issued, self.sim.now
+                )
             # Streams normally land in program order, but an HBM ECC
             # retry re-enters the channel queue and can deliver late —
             # keep the issue queue sorted by program position so the
@@ -527,7 +570,11 @@ class TrainingEngine:
                     priority=PRIORITY_TRAINING,
                 )
 
+        step_started = self._exec_step_started
+
         def _after_simd() -> None:
+            if self.spans is not None:
+                self.spans.record("train.step", step_started, self.sim.now)
             self._next_step(step_idx)
 
         self.simd.issue(
@@ -546,8 +593,13 @@ class TrainingEngine:
             sync_bytes = step.dram_bytes
             if sync_bytes > 0:
                 captured = next_idx
+                sync_started = self.sim.now
 
                 def _sync_done() -> None:
+                    if self.spans is not None:
+                        self.spans.record(
+                            "train.aggregate", sync_started, self.sim.now
+                        )
                     self._next_step(captured)
 
                 self.hbm.transfer(
@@ -562,6 +614,7 @@ class TrainingEngine:
             return
         self._exec_step = next_idx
         self._exec_jobs_done = 0
+        self._exec_step_started = self.sim.now
         self._maybe_issue()
         self._maybe_prefetch()
 
@@ -573,11 +626,16 @@ class TrainingEngine:
             useful_ops=self.program.total_useful_ops,
         )
         self.iterations.append(record)
+        if self.spans is not None:
+            self.spans.record(
+                "train.iteration", record.start_cycle, record.completion_cycle
+            )
         # Start the next iteration immediately: training requests are
         # always available (paper §5).
         self._iteration_start = self.sim.now
         self._exec_step = 0
         self._exec_jobs_done = 0
+        self._exec_step_started = self.sim.now
         self._prefetch_cursor = (0, 0)
         self._staged.clear()
         self._staged_bytes = 0.0

@@ -41,7 +41,12 @@ from repro.hw.mmu import MatrixMultiplyUnit
 from repro.hw.simd import SIMDUnit
 from repro.models.compiler import TileCompiler
 from repro.models.graph import ModelSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SimProfiler
+from repro.obs.report import RunReport, report_from_simulation
+from repro.obs.spans import SpanTracer
 from repro.sim.engine import Simulator
+from repro.sim.stats import inf_aware_percentile
 from repro.workload.loadgen import ArrivalProcess, FaultyArrivals, PoissonArrivals
 
 #: Default batch-formation timeout as a multiple of the service time —
@@ -86,6 +91,8 @@ class SimulationReport:
     #: Fault/recovery counters accumulated over the run (all zero for a
     #: fault-free experiment).
     faults: FaultCounters = field(default_factory=FaultCounters)
+    #: Median request latency (run artifacts carry p50 alongside p99).
+    p50_latency_us: float = math.nan
 
     @property
     def duration_s(self) -> float:
@@ -156,6 +163,7 @@ class EquinoxAccelerator:
         fault_plan: Optional[FaultPlan] = None,
         admission: Optional[AdmissionControl] = None,
         degrade_threshold: Optional[int] = None,
+        profiler: Optional[SimProfiler] = None,
     ):
         self.config = config
         self.inference_model = inference_model
@@ -165,6 +173,13 @@ class EquinoxAccelerator:
         self.fault_counters = FaultCounters()
 
         self.sim = Simulator()
+        # Observability: one metrics namespace + span tracer per
+        # accelerator; every collector below registers into it.
+        self.obs = MetricsRegistry()
+        self.spans = SpanTracer(self.sim, registry=self.obs)
+        self.profiler = profiler
+        if profiler is not None:
+            self.sim.set_profiler(profiler)
         self.mmu = MatrixMultiplyUnit(self.sim, config)
         self.simd = SIMDUnit(self.sim, config)
         self.hbm = HBMInterface(self.sim, config)
@@ -230,10 +245,12 @@ class EquinoxAccelerator:
             self.sim, config, self.mmu, self.simd,
             self.inference_program, self.scheduler,
             max_inflight=max_inflight_batches,
+            spans=self.spans,
         )
         self.dispatcher = RequestDispatcher(
             self.sim, self.batching, on_batch=self.engine.enqueue,
             admission=admission, counters=self.fault_counters,
+            spans=self.spans,
         )
         # Wire the arbiter to the policy and the queue-size signal
         # (Figure 5's "Inference Queue Size" wire into the controller).
@@ -281,9 +298,33 @@ class EquinoxAccelerator:
                 self.sim, config, self.mmu, self.simd, self.hbm,
                 self.training_program, self.scheduler,
                 inference_queue_size=self._inference_backlog,
+                spans=self.spans,
             )
             self.dispatcher.on_queue_decrease = self.training_engine.poke
             self.engine.on_batch_complete = self.training_engine.poke
+
+        # Migrate the scattered collectors into the registry as deferred
+        # sources: their public APIs are unchanged, their values appear
+        # under stable dotted prefixes in every snapshot/artifact.
+        self.obs.register_source(
+            "inference.latency", self.engine.latency.metrics
+        )
+        self.obs.register_source("mmu.cycles", self.mmu.accounting.metrics)
+        self.obs.register_source(
+            "mmu.throughput", self.mmu.throughput.metrics
+        )
+        self.obs.register_source("dispatcher", self.dispatcher.metrics)
+        self.obs.register_source("scheduler", self.scheduler.metrics)
+        self.obs.register_source("faults", self.fault_counters.as_dict)
+        if self.training_engine is not None:
+            self.obs.register_source(
+                "training",
+                lambda: {
+                    "iterations": float(
+                        self.training_engine.iterations_completed
+                    )
+                },
+            )
 
     # ------------------------------------------------------------------
     # Analytic service characteristics
@@ -514,9 +555,15 @@ class EquinoxAccelerator:
                     incomplete_batches=(
                         self.dispatcher.incomplete_batches - before.incomplete
                     ),
+                    p50_latency_us=(
+                        self.config.cycles_to_us(
+                            inf_aware_percentile(latencies, 50)
+                        )
+                        if latencies else no_sample
+                    ),
                     p99_latency_us=(
                         self.config.cycles_to_us(
-                            float(np.percentile(latencies, 99))
+                            inf_aware_percentile(latencies, 99)
                         )
                         if latencies else no_sample
                     ),
@@ -584,6 +631,10 @@ class EquinoxAccelerator:
             requests_completed=self.engine.requests_completed,
             batches_completed=self.engine.batches_completed,
             incomplete_batches=self.dispatcher.incomplete_batches,
+            p50_latency_us=(
+                self.config.cycles_to_us(self.engine.latency.percentile(50.0))
+                if has_latency else no_sample
+            ),
             p99_latency_us=(
                 self.config.cycles_to_us(self.engine.latency.p99())
                 if has_latency else no_sample
@@ -606,4 +657,37 @@ class EquinoxAccelerator:
             rejected_requests=self.fault_counters.rejected_requests,
             request_timeouts=self.fault_counters.request_timeouts,
             faults=self.fault_counters.snapshot(),
+        )
+
+    # ------------------------------------------------------------------
+    # Run artifacts
+    # ------------------------------------------------------------------
+
+    def run_report(
+        self, sim_report: SimulationReport, name: str, kind: str = "accelerator"
+    ) -> RunReport:
+        """Package one measured run as the structured JSON artifact.
+
+        Bundles the :class:`SimulationReport` headline numbers with the
+        full metrics-registry snapshot, the span aggregates and (when a
+        profiler is attached) the deterministic kernel figures. The
+        result serializes byte-identically for identically seeded runs.
+        """
+        profile = (
+            self.profiler.deterministic_metrics()
+            if self.profiler is not None
+            else {}
+        )
+        return report_from_simulation(
+            name,
+            sim_report,
+            kind=kind,
+            config={
+                "scheduler": type(self.scheduler).__name__,
+                "batch_slots": self.batch_slots,
+                "queue_threshold": self.queue_threshold,
+            },
+            metrics=self.obs.snapshot(),
+            spans=self.spans.summary(),
+            profile=profile,
         )

@@ -53,6 +53,9 @@ class Batch:
     requests: List[InferenceRequest] = field(default_factory=list)
     slots: int = 0
     formed_cycle: float = 0.0
+    #: When the batch first entered the datapath (span tracing's
+    #: ``request.execute`` start); ``None`` while queued.
+    started_cycle: Optional[float] = None
     completion_cycle: Optional[float] = None
 
     @property

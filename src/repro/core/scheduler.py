@@ -18,7 +18,7 @@ Policies are consulted by the MMU arbiter at every grant through
 :meth:`SchedulingPolicy.select_queue`.
 """
 
-from typing import Optional
+from typing import Dict, Optional
 
 INFERENCE = "inference"
 TRAINING = "training"
@@ -40,8 +40,33 @@ class SchedulingPolicy:
     #: whole datapath drains the inference backlog.
     degraded: bool = False
 
+    #: Lazily created per instance (subclasses predate this and do not
+    #: call ``super().__init__``), so the class attribute is a sentinel.
+    _decisions: Optional[Dict[str, int]] = None
+
     def set_degraded(self, degraded: bool) -> None:
         self.degraded = degraded
+
+    @property
+    def decisions(self) -> Dict[str, int]:
+        """Grant tally per outcome (``inference``/``training``/``idle``),
+        recorded by the MMU arbiter at every arbitration."""
+        if self._decisions is None:
+            self._decisions = {}
+        return self._decisions
+
+    def record_decision(self, choice: Optional[str]) -> None:
+        """Tally one arbitration outcome (``None`` counts as idle)."""
+        key = choice if choice is not None else "idle"
+        tally = self.decisions
+        tally[key] = tally.get(key, 0) + 1
+
+    def metrics(self) -> Dict[str, float]:
+        """Deferred-source view for a ``MetricsRegistry``."""
+        tally = self.decisions
+        return {
+            f"decisions.{key}": float(tally[key]) for key in sorted(tally)
+        }
 
     def select_queue(
         self,

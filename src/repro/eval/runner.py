@@ -1,12 +1,26 @@
-"""Shared simulation plumbing for the per-figure experiments."""
+"""Shared simulation plumbing for the per-figure experiments.
 
-from typing import Optional
+Besides building accelerators and running load points, this module
+hosts the experiment-level observability capture: wrap an experiment in
+:func:`capture_run` and every :func:`simulate_load_point` inside it
+feeds one shared :class:`ExperimentCapture`, which aggregates latency
+(into a bounded-memory quantile sketch), throughput, the Figure-8 cycle
+breakdown and fault counters across *all* the accelerators the
+experiment builds — that aggregate becomes the experiment's
+:class:`repro.obs.RunReport` artifact.
+"""
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
 
 from repro.core.equinox import EquinoxAccelerator, SimulationReport
 from repro.dse.table1 import equinox_configuration
 from repro.hw.config import AcceleratorConfig
 from repro.models.graph import ModelSpec
 from repro.models.lstm import deepbench_lstm
+from repro.obs.report import RunReport
+from repro.obs.sketch import QuantileSketch
+from repro.sim.stats import CYCLE_CATEGORIES
 
 #: Batches of measurement per load point; enough for a stable p99 at
 #: batch sizes in the hundreds while keeping sweeps interactive.
@@ -50,7 +64,140 @@ def simulate_load_point(
 ) -> SimulationReport:
     """Run one offered-load point for ``batches`` worth of requests."""
     requests = max(500, batches * accelerator.batch_slots)
-    return accelerator.run(load=load, requests=requests, seed=seed)
+    report = accelerator.run(load=load, requests=requests, seed=seed)
+    if _ACTIVE_CAPTURE is not None:
+        _ACTIVE_CAPTURE.observe(accelerator)
+    return report
+
+
+class ExperimentCapture:
+    """Aggregates measurements across every accelerator an experiment
+    drives, producing one :class:`RunReport` for the whole sweep.
+
+    Accelerators are frequently reused across load points, so all
+    cumulative collectors (latency samples, op meters, cycle
+    accounting) are read as *deltas* keyed by accelerator identity —
+    observing the same accelerator twice never double-counts.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.latency_us = QuantileSketch()
+        self.duration_cycles = 0.0
+        self.frequency_hz: Optional[float] = None
+        self.ops: Dict[str, float] = {"inference": 0.0, "training": 0.0}
+        self.busy: Dict[str, float] = {
+            c: 0.0 for c in CYCLE_CATEGORIES if c != "idle"
+        }
+        self.windows = 0
+        self._accel_state: Dict[int, Dict[str, float]] = {}
+        self._fault_totals: Dict[int, Dict[str, float]] = {}
+
+    def observe(self, accelerator: EquinoxAccelerator) -> None:
+        """Fold one accelerator's state since its last observation."""
+        state = self._accel_state.setdefault(id(accelerator), {})
+        config = accelerator.config
+
+        latency = accelerator.engine.latency
+        since = int(state.get("latency_idx", 0))
+        for sample in latency.samples_since(since):
+            self.latency_us.observe(config.cycles_to_us(sample))
+        state["latency_idx"] = float(latency.count)
+
+        now = accelerator.sim.now
+        self.duration_cycles += now - state.get("now", 0.0)
+        state["now"] = now
+
+        for context in self.ops:
+            meter = accelerator.mmu.throughput_by_context.get(context)
+            total = meter.total_ops if meter is not None else 0.0
+            key = f"ops_{context}"
+            self.ops[context] += total - state.get(key, 0.0)
+            state[key] = total
+
+        for category, cycles in accelerator.mmu.accounting.busy_cycles().items():
+            key = f"busy_{category}"
+            self.busy[category] += cycles - state.get(key, 0.0)
+            state[key] = cycles
+
+        self.frequency_hz = config.frequency_hz
+        self._fault_totals[id(accelerator)] = {
+            str(k): float(v)
+            for k, v in accelerator.fault_counters.as_dict().items()
+        }
+        self.windows += 1
+
+    def build_report(
+        self, kind: str = "experiment", config: Optional[Dict[str, Any]] = None
+    ) -> RunReport:
+        """The aggregate artifact (latency ``None`` when nothing ran)."""
+        if self.latency_us.count > 0:
+            latency = self.latency_us.to_dict()
+            latency_us: Dict[str, Optional[float]] = {
+                "p50": latency["p50"],
+                "p99": latency["p99"],
+                "mean": latency["mean"],
+                "max": latency["max"],
+            }
+        else:
+            latency_us = {"p50": None, "p99": None, "mean": None, "max": None}
+
+        throughput: Dict[str, float] = {}
+        breakdown: Dict[str, float] = {}
+        if self.duration_cycles > 0 and self.frequency_hz:
+            to_top_s = self.frequency_hz / 1e12 / self.duration_cycles
+            throughput = {
+                context: self.ops[context] * to_top_s for context in self.ops
+            }
+            busy_total = 0.0
+            for category, cycles in self.busy.items():
+                fraction = min(1.0, cycles / self.duration_cycles)
+                breakdown[category] = fraction
+                busy_total += fraction
+            breakdown["idle"] = max(0.0, 1.0 - busy_total)
+
+        faults: Dict[str, float] = {}
+        for totals in self._fault_totals.values():
+            for key, value in totals.items():
+                faults[key] = faults.get(key, 0.0) + value
+
+        full_config = {"windows": self.windows}
+        if config:
+            full_config.update(config)
+        return RunReport(
+            name=self.name,
+            kind=kind,
+            config=full_config,
+            latency_us=latency_us,
+            throughput_top_s=throughput,
+            cycle_breakdown=breakdown,
+            faults={key: faults[key] for key in sorted(faults)},
+            metrics={
+                "latency_us": self.latency_us.to_dict()
+                if self.latency_us.count else {},
+                "duration_cycles": self.duration_cycles,
+            },
+        )
+
+
+#: The capture every ``simulate_load_point`` inside :func:`capture_run`
+#: reports into (module-global because the experiment modules call the
+#: runner free functions, not methods on some context object).
+_ACTIVE_CAPTURE: Optional[ExperimentCapture] = None
+
+
+@contextmanager
+def capture_run(name: str) -> Iterator[ExperimentCapture]:
+    """Collect every load point run inside the block into one capture."""
+    global _ACTIVE_CAPTURE
+    if _ACTIVE_CAPTURE is not None:
+        raise RuntimeError("experiment captures do not nest")
+    capture = ExperimentCapture(name)
+    _ACTIVE_CAPTURE = capture
+    try:
+        yield capture
+    finally:
+        _ACTIVE_CAPTURE = None
 
 
 def latency_target_us(encoding: str = "hbfp8") -> float:

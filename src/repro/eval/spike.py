@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.core.equinox import SimulationReport
+from repro.eval import runner
 from repro.eval.report import render_table
 from repro.eval.runner import build_accelerator, latency_target_us
 from repro.models.lstm import deepbench_lstm
@@ -73,6 +74,10 @@ def run(
     )
     acc = build_accelerator(latency_class, training_model=deepbench_lstm())
     reports = acc.run_profile(profile, dwell_s=dwell_s, seed=seed)
+    if runner._ACTIVE_CAPTURE is not None:
+        # run_profile bypasses simulate_load_point; feed the capture the
+        # accelerator's cumulative state once, at the end.
+        runner._ACTIVE_CAPTURE.observe(acc)
     return SpikeResult(
         profile=profile,
         reports=reports,

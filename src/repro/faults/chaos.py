@@ -103,7 +103,7 @@ def _run_accel(
         fault_plan=plan,
         admission=admission,
     )
-    return accelerator.run(load=load, requests=requests, seed=seed)
+    return accelerator.run(load=load, requests=requests, seed=seed), accelerator
 
 
 def _run_fleet(
@@ -119,9 +119,10 @@ def _run_fleet(
         round_timeout_s=round_timeout_s,
         min_workers=FLEET_MIN_WORKERS,
     )
-    return fleet.train(
+    report = fleet.train(
         [load] * FLEET_SIZE, batches=FLEET_BATCHES, seed=seed
     )
+    return report, fleet
 
 
 def _accel_row(
@@ -132,10 +133,10 @@ def _accel_row(
     load: float,
     requests: int,
     seed: int,
-) -> ChaosRow:
-    first = _run_accel(plan, admission, load, requests, seed)
-    second = _run_accel(plan, admission, load, requests, seed)
-    return ChaosRow(
+) -> Tuple[ChaosRow, object]:
+    first, accelerator = _run_accel(plan, admission, load, requests, seed)
+    second, _ = _run_accel(plan, admission, load, requests, seed)
+    row = ChaosRow(
         name=name,
         description=description,
         kind="accel",
@@ -147,6 +148,8 @@ def _accel_row(
         notable=first.faults.nonzero(),
         reproducible=_accel_key(first) == _accel_key(second),
     )
+    artifact = accelerator.run_report(first, f"chaos.{name}", kind="chaos")
+    return row, artifact
 
 
 def _fleet_row(
@@ -156,9 +159,9 @@ def _fleet_row(
     round_timeout_s: Optional[float],
     load: float,
     seed: int,
-) -> Tuple[ChaosRow, object]:
-    first = _run_fleet(plan, round_timeout_s, load, seed)
-    second = _run_fleet(plan, round_timeout_s, load, seed)
+) -> Tuple[ChaosRow, object, object]:
+    first, fleet = _run_fleet(plan, round_timeout_s, load, seed)
+    second, _ = _run_fleet(plan, round_timeout_s, load, seed)
     worst_p99 = max(w.p99_latency_us for w in first.workers)
     row = ChaosRow(
         name=name,
@@ -174,7 +177,8 @@ def _fleet_row(
         workers_aggregated=first.round.workers_aggregated,
         workers_dropped=first.round.workers_dropped,
     )
-    return row, first
+    artifact = fleet.run_report(first, f"chaos.{name}")
+    return row, first, artifact
 
 
 def run(
@@ -199,76 +203,76 @@ def run(
     slots = probe.batch_slots
 
     rows: List[ChaosRow] = []
-    rows.append(
-        _accel_row(
-            "baseline", "fault-free control arm", None, None,
-            load, requests, seed,
-        )
+    #: Per-scenario structured run artifacts (``RunReport``), keyed by
+    #: scenario name — what ``python -m repro chaos --report-dir`` dumps.
+    artifacts: Dict[str, object] = {}
+
+    def _add_accel(*args) -> None:
+        row, artifact = _accel_row(*args)
+        rows.append(row)
+        artifacts[row.name] = artifact
+
+    _add_accel(
+        "baseline", "fault-free control arm", None, None,
+        load, requests, seed,
     )
-    rows.append(
-        _accel_row(
-            "hbm_ecc",
-            "transient HBM ECC errors, bounded retry",
-            FaultPlan(seed=seed, hbm=HBMFaultSpec(error_rate=0.05, max_retries=3)),
-            None, load, requests, seed,
-        )
+    _add_accel(
+        "hbm_ecc",
+        "transient HBM ECC errors, bounded retry",
+        FaultPlan(seed=seed, hbm=HBMFaultSpec(error_rate=0.05, max_retries=3)),
+        None, load, requests, seed,
     )
-    rows.append(
-        _accel_row(
-            "tile_stalls",
-            "tile/PE stalls inflating MMU occupancy",
-            FaultPlan(
-                seed=seed,
-                mmu=MMUFaultSpec(stall_rate=0.10, stall_cycles=0.25 * service_cycles),
-            ),
-            None, load, requests, seed,
-        )
+    _add_accel(
+        "tile_stalls",
+        "tile/PE stalls inflating MMU occupancy",
+        FaultPlan(
+            seed=seed,
+            mmu=MMUFaultSpec(stall_rate=0.10, stall_cycles=0.25 * service_cycles),
+        ),
+        None, load, requests, seed,
     )
-    rows.append(
-        _accel_row(
-            "lossy_frontend",
-            "request drops and wire delays",
-            FaultPlan(
-                seed=seed,
-                requests=RequestFaultSpec(
-                    drop_rate=0.05,
-                    delay_rate=0.10,
-                    delay_cycles=0.5 * service_cycles,
-                ),
+    _add_accel(
+        "lossy_frontend",
+        "request drops and wire delays",
+        FaultPlan(
+            seed=seed,
+            requests=RequestFaultSpec(
+                drop_rate=0.05,
+                delay_rate=0.10,
+                delay_cycles=0.5 * service_cycles,
             ),
-            None, load, requests, seed,
-        )
+        ),
+        None, load, requests, seed,
     )
-    rows.append(
-        _accel_row(
-            "overload_shed",
-            "delay faults vs bounded queue + deadlines",
-            FaultPlan(
-                seed=seed,
-                requests=RequestFaultSpec(
-                    delay_rate=0.25, delay_cycles=2.0 * service_cycles
-                ),
+    _add_accel(
+        "overload_shed",
+        "delay faults vs bounded queue + deadlines",
+        FaultPlan(
+            seed=seed,
+            requests=RequestFaultSpec(
+                delay_rate=0.25, delay_cycles=2.0 * service_cycles
             ),
-            AdmissionControl(
-                max_queue_requests=4 * slots,
-                deadline_cycles=8.0 * service_cycles,
-                max_retries=1,
-                backoff_cycles=0.5 * service_cycles,
-            ),
-            load, requests, seed,
-        )
+        ),
+        AdmissionControl(
+            max_queue_requests=4 * slots,
+            deadline_cycles=8.0 * service_cycles,
+            max_retries=1,
+            backoff_cycles=0.5 * service_cycles,
+        ),
+        load, requests, seed,
     )
 
-    fleet_baseline, fleet_report = _fleet_row(
+    fleet_baseline, fleet_report, fleet_artifact = _fleet_row(
         "fleet_baseline",
         f"{FLEET_SIZE}-worker fleet, fault-free",
         None, None, load, seed,
     )
     rows.append(fleet_baseline)
+    artifacts[fleet_baseline.name] = fleet_artifact
     # Self-calibrate the barrier timeout off the fault-free round so the
     # chaos straggler (slowed STRAGGLER_SLOWDOWN×) lands beyond it.
     healthy_iteration_s = fleet_report.round.compute_s
-    chaos_row, _ = _fleet_row(
+    chaos_row, _, chaos_artifact = _fleet_row(
         "fleet_chaos",
         "HBM errors + 1 crash + 1 straggler, partial aggregation",
         FaultPlan(
@@ -283,7 +287,14 @@ def run(
         load, seed,
     )
     rows.append(chaos_row)
-    return {"rows": rows, "load": load, "requests": requests, "seed": seed}
+    artifacts[chaos_row.name] = chaos_artifact
+    return {
+        "rows": rows,
+        "artifacts": artifacts,
+        "load": load,
+        "requests": requests,
+        "seed": seed,
+    }
 
 
 def _ratio(value: float, base: float) -> str:

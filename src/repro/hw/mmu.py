@@ -155,6 +155,7 @@ class MatrixMultiplyUnit:
             choice = self._policy.select_queue(
                 inf_ready, train_ready, self._pressure_fn(), self._last_granted
             )
+            self._policy.record_decision(choice)
         if choice is None:
             return
         self._grant(self._queues[choice].popleft())

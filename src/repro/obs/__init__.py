@@ -1,0 +1,57 @@
+"""repro.obs — the unified observability layer.
+
+Every quantity the paper's evaluation reports — p99 latency (Figures 7,
+10, 11), sustained TOp/s (Figure 9, Table 2), the MMU cycle breakdown
+(Figure 8), fault/recovery counts — flows through this package so runs
+can be exported, compared and correlated:
+
+* :mod:`repro.obs.sketch` — a bounded-memory streaming quantile sketch
+  (DDSketch-style log buckets) so p50/p99/p999 work without retaining
+  every sample.
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges, histograms and deferred sources (the migration path for the
+  pre-existing collectors in :mod:`repro.sim.stats` and
+  :mod:`repro.faults.counters`).
+* :mod:`repro.obs.spans` — hierarchical span tracing layered on the
+  :class:`repro.sim.trace.Tracer` (request lifecycle: arrival →
+  dispatch → tile execution → completion; training lifecycle:
+  prefetch → step → aggregate).
+* :mod:`repro.obs.profile` — simulator hot-path profiling (events/sec,
+  heap depth, per-component callback time).
+* :mod:`repro.obs.report` — the structured JSON run artifact
+  (:class:`RunReport`) every experiment and the chaos CLI emit, with
+  its schema validator and differ.
+* :mod:`repro.obs.cli` — ``python -m repro metrics`` to dump, validate
+  and diff run artifacts.
+
+Determinism contract: everything serialized into a
+:class:`RunReport` derives from simulation state only — two runs with
+the same seed emit byte-identical JSON. Wall-clock profiling data stays
+on the :class:`SimProfiler` object and is reported out-of-band.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import SimProfiler
+from repro.obs.report import (
+    RunReport,
+    diff_reports,
+    report_from_simulation,
+    validate_report,
+)
+from repro.obs.sketch import QuantileSketch
+from repro.obs.spans import Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QuantileSketch",
+    "RunReport",
+    "SimProfiler",
+    "Span",
+    "SpanTracer",
+    "diff_reports",
+    "report_from_simulation",
+    "validate_report",
+]

@@ -1,0 +1,178 @@
+"""``python -m repro metrics`` — dump, validate and diff run artifacts.
+
+    python -m repro metrics smoke --out artifacts/smoke.json
+    python -m repro metrics fig9 --out artifacts/fig9.json
+    python -m repro metrics validate artifacts/*.json
+    python -m repro metrics diff run_a.json run_b.json
+
+``smoke`` runs one small profiled accelerator experiment and emits its
+:class:`repro.obs.RunReport` — the CI metrics job runs exactly this and
+then ``validate``s the output, which fails (exit 1) on schema breakage
+or any ``nan`` latency/throughput field. An experiment name runs that
+experiment under :func:`repro.eval.runner.capture_run` and emits the
+sweep's aggregate artifact. ``diff`` compares two artifacts field by
+field (exit 1 when they differ), which is how byte-level determinism
+regressions and cross-version drifts are inspected.
+
+Wall-clock profiling figures (events/sec, per-component callback time)
+are printed to *stderr* only: they are nondeterministic and therefore
+deliberately kept out of the artifact itself.
+
+Everything heavier than the artifact helpers is imported lazily inside
+the handlers, so ``metrics validate``/``diff`` stay instant.
+"""
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.obs.profile import SimProfiler
+from repro.obs.report import RunReport, diff_reports, validate_report
+
+#: Smoke-run shape: small enough for CI, big enough to exercise the
+#: dispatcher, both engines, the arbiter and the span tracer.
+SMOKE_LOAD = 0.5
+SMOKE_REQUESTS = 200
+SMOKE_SEED = 1
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "target",
+        help="'smoke', 'validate', 'diff', or an experiment name "
+        "(see 'python -m repro list')",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="artifact path(s) for validate/diff",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="write the artifact JSON here instead of stdout",
+    )
+    parser.add_argument(
+        "--rel-tolerance", type=float, default=0.0,
+        help="relative tolerance for diff (default: exact)",
+    )
+    parser.add_argument(
+        "--loads", type=float, nargs="+", default=None,
+        help="override the load grid for load-sweep experiments",
+    )
+
+
+def _emit(report: RunReport, out: Optional[str]) -> int:
+    """Validate and write/print one artifact; exit status 0/1."""
+    text = report.to_json()
+    problems = validate_report(json.loads(text))
+    if out:
+        directory = os.path.dirname(out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {out}")
+    else:
+        print(text)
+    for problem in problems:
+        print(f"invalid artifact: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _smoke(out: Optional[str]) -> int:
+    from repro.core.equinox import EquinoxAccelerator
+    from repro.dse.table1 import equinox_configuration
+    from repro.models.lstm import deepbench_lstm
+
+    profiler = SimProfiler()
+    model = deepbench_lstm()
+    accelerator = EquinoxAccelerator(
+        equinox_configuration("500us"),
+        model,
+        training_model=model,
+        profiler=profiler,
+    )
+    sim_report = accelerator.run(
+        load=SMOKE_LOAD, requests=SMOKE_REQUESTS, seed=SMOKE_SEED
+    )
+    report = accelerator.run_report(sim_report, "smoke")
+    status = _emit(report, out)
+    for key, value in profiler.wall_summary().items():
+        print(f"[wall] {key}: {value:.6g}", file=sys.stderr)
+    return status
+
+
+def _experiment(name: str, loads, out: Optional[str]) -> int:
+    from repro.__main__ import EXPERIMENTS
+    from repro.eval.runner import capture_run
+
+    if name not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        print(
+            f"unknown metrics target {name!r}; expected 'smoke', "
+            f"'validate', 'diff' or one of: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    module, _ = EXPERIMENTS[name]
+    kwargs = {}
+    if loads and hasattr(module.run, "__code__") and (
+        "loads" in module.run.__code__.co_varnames
+    ):
+        kwargs["loads"] = tuple(loads)
+    with capture_run(name) as capture:
+        module.run(**kwargs)
+    return _emit(capture.build_report(), out)
+
+
+def _validate(paths: List[str]) -> int:
+    if not paths:
+        print("metrics validate needs at least one path", file=sys.stderr)
+        return 2
+    status = 0
+    for path in paths:
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"{path}: unreadable ({error})", file=sys.stderr)
+            status = 1
+            continue
+        problems = validate_report(data)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return status
+
+
+def _diff(paths: List[str], rel_tolerance: float) -> int:
+    if len(paths) != 2:
+        print("metrics diff needs exactly two paths", file=sys.stderr)
+        return 2
+    reports = []
+    for path in paths:
+        with open(path) as handle:
+            reports.append(RunReport.from_dict(json.load(handle)))
+    delta = diff_reports(reports[0], reports[1], rel_tolerance=rel_tolerance)
+    if not delta:
+        print("identical")
+        return 0
+    width = max(len(path) for path in delta)
+    for path in sorted(delta):
+        a, b = delta[path]
+        print(f"{path:<{width}}  {a!r:>24} -> {b!r}")
+    return 1
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.target == "smoke":
+        return _smoke(args.out)
+    if args.target == "validate":
+        return _validate(list(args.paths))
+    if args.target == "diff":
+        return _diff(list(args.paths), args.rel_tolerance)
+    return _experiment(args.target, args.loads, args.out)

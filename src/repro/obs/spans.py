@@ -1,0 +1,194 @@
+"""Hierarchical span tracing layered on :class:`repro.sim.trace.Tracer`.
+
+A span is a named interval of simulated time with an optional parent —
+the request lifecycle nests as::
+
+    request                       (arrival -> completion)
+      request.queue               (arrival -> batch formation)
+      request.execute             (batch dispatch -> tile completion)
+
+and the training lifecycle as::
+
+    train.iteration               (iteration start -> gradient done)
+      train.prefetch              (DRAM stream issue -> staged)
+      train.step                  (step issue -> SIMD tail done)
+      train.aggregate             (parameter-sync transfer)
+
+Spans come in two flavours: *live* (``begin``/``end`` across simulator
+callbacks — there is no call stack to lean on in an event-driven
+program, so the handle is explicit) and *retroactive* (``record`` with
+both cycles, used by components that already stamp lifecycle cycles on
+their request records).
+
+Aggregation is always on and bounded: per-name count/total/max plus a
+duration histogram in the attached :class:`MetricsRegistry` under
+``span.<name>.cycles``. Full per-span records are optional
+(``keep_records=True``) and stored through the existing
+:class:`~repro.sim.trace.Tracer`, so the trace tooling (filter,
+timeline) works on spans unchanged.
+"""
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+__all__ = ["Span", "SpanTracer"]
+
+#: Tracer component under which span records are emitted.
+SPAN_COMPONENT = "span"
+
+
+@dataclass
+class Span:
+    """One named interval of simulated time."""
+
+    span_id: int
+    name: str
+    start_cycle: float
+    parent_id: Optional[int] = None
+    end_cycle: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_cycles(self) -> float:
+        if self.end_cycle is None:
+            raise ValueError(f"span {self.name}#{self.span_id} still open")
+        return self.end_cycle - self.start_cycle
+
+
+class SpanTracer:
+    """Collects spans against one simulator clock.
+
+    Args:
+        sim: The clock spans are stamped from.
+        registry: Duration histograms land here as
+            ``span.<name>.cycles`` (optional).
+        tracer: Storage for full span records; defaults to an internal
+            :class:`Tracer`. Only used when ``keep_records`` is True.
+        keep_records: Retain every finished span as a trace record.
+            Off by default so long runs stay bounded-memory — the
+            per-name aggregates and histograms are always maintained.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        keep_records: bool = False,
+    ):
+        self.sim = sim
+        self.registry = registry
+        self.keep_records = keep_records
+        self.tracer = tracer if tracer is not None else Tracer(enabled=keep_records)
+        self._ids = itertools.count()
+        self._open: Dict[int, Span] = {}
+        #: name -> [count, total_cycles, max_cycles]
+        self._aggregate: Dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    # Live spans
+    # ------------------------------------------------------------------
+
+    def begin(
+        self, name: str, parent: Optional[Span] = None, **attrs: Any
+    ) -> Span:
+        span = Span(
+            span_id=next(self._ids),
+            name=name,
+            start_cycle=self.sim.now,
+            parent_id=parent.span_id if parent is not None else None,
+            attrs=dict(attrs),
+        )
+        self._open[span.span_id] = span
+        return span
+
+    def end(self, span: Span, **attrs: Any) -> Span:
+        if span.end_cycle is not None:
+            raise ValueError(f"span {span.name}#{span.span_id} already ended")
+        span.end_cycle = self.sim.now
+        span.attrs.update(attrs)
+        self._open.pop(span.span_id, None)
+        self._finish(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # Retroactive spans
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        name: str,
+        start_cycle: float,
+        end_cycle: float,
+        parent: Optional[Span] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record a span whose endpoints were stamped elsewhere (the
+        dispatcher's request records already carry lifecycle cycles)."""
+        if end_cycle < start_cycle:
+            raise ValueError(
+                f"span {name!r} ends before it starts "
+                f"({end_cycle} < {start_cycle})"
+            )
+        span = Span(
+            span_id=next(self._ids),
+            name=name,
+            start_cycle=start_cycle,
+            parent_id=parent.span_id if parent is not None else None,
+            end_cycle=end_cycle,
+            attrs=dict(attrs),
+        )
+        self._finish(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # Internals + export
+    # ------------------------------------------------------------------
+
+    def _finish(self, span: Span) -> None:
+        duration = span.duration_cycles
+        entry = self._aggregate.get(span.name)
+        if entry is None:
+            self._aggregate[span.name] = [1, duration, duration]
+        else:
+            entry[0] += 1
+            entry[1] += duration
+            entry[2] = max(entry[2], duration)
+        if self.registry is not None:
+            self.registry.histogram(
+                f"span.{span.name}.cycles"
+            ).observe(duration)
+        if self.keep_records:
+            self.tracer.emit(
+                span.start_cycle,
+                SPAN_COMPONENT,
+                span.name,
+                payload={
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "end_cycle": span.end_cycle,
+                    **span.attrs,
+                },
+            )
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._open)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Deterministic per-name aggregate for run artifacts."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name in sorted(self._aggregate):
+            count, total, peak = self._aggregate[name]
+            out[name] = {
+                "count": float(count),
+                "total_cycles": total,
+                "mean_cycles": total / count,
+                "max_cycles": peak,
+            }
+        return out

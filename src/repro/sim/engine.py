@@ -8,7 +8,12 @@ timestamp execute in scheduling order, which keeps runs deterministic.
 
 import heapq
 import itertools
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
+
+#: Values :meth:`Simulator.run` returns to say why it stopped.
+STOP_DRAINED = "drained"
+STOP_UNTIL = "until"
+STOP_MAX_EVENTS = "max_events"
 
 
 class Event:
@@ -52,11 +57,24 @@ class Simulator:
         self._heap: list = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._profiler: Optional[Any] = None
 
     @property
     def events_processed(self) -> int:
         """Number of events executed so far (for instrumentation)."""
         return self._events_processed
+
+    def set_profiler(self, profiler: Optional[Any]) -> None:
+        """Attach a hot-path profiler (``None`` detaches).
+
+        The profiler (duck-typed; see
+        :class:`repro.obs.profile.SimProfiler`) receives
+        ``before_event(event, heap_depth)`` / ``after_event(event)``
+        around every callback. The kernel itself never reads the wall
+        clock — keeping ``repro.sim`` deterministic — so any wall
+        timing lives entirely in the hook object.
+        """
+        self._profiler = profiler
 
     def at(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute ``time``.
@@ -78,31 +96,49 @@ class Simulator:
 
     def run(
         self, until: Optional[float] = None, max_events: Optional[int] = None
-    ) -> None:
+    ) -> str:
         """Run events until the queue drains, ``until``, or ``max_events``.
 
         ``until`` is inclusive: an event scheduled exactly at ``until``
-        fires. When the run stops on ``until`` the clock is advanced to
-        ``until`` even if no event lands there, so window-based
-        statistics integrate to the right horizon.
+        fires. The clock advance to ``until`` happens **only** on the
+        ``until`` and drained stops: when the run stops because the
+        event budget ran out the clock stays at the last executed
+        event — there may be live events between it and ``until``, so
+        advancing would fabricate simulated time that never elapsed
+        (and silently skew any windowed statistic computed from
+        ``now``).
+
+        Returns the stop reason: :data:`STOP_DRAINED` (queue empty),
+        :data:`STOP_UNTIL` (next live event is beyond ``until``) or
+        :data:`STOP_MAX_EVENTS` (budget exhausted, **clock not
+        advanced**).
         """
         processed = 0
+        profiler = self._profiler
+        stop = STOP_DRAINED
         while self._heap:
             event = self._heap[0]
             if event.cancelled:
                 heapq.heappop(self._heap)
                 continue
             if until is not None and event.time > until:
+                stop = STOP_UNTIL
                 break
             if max_events is not None and processed >= max_events:
-                return
+                return STOP_MAX_EVENTS
             heapq.heappop(self._heap)
             self.now = event.time
-            event.callback()
+            if profiler is None:
+                event.callback()
+            else:
+                profiler.before_event(event, len(self._heap))
+                event.callback()
+                profiler.after_event(event)
             self._events_processed += 1
             processed += 1
         if until is not None and self.now < until:
             self.now = float(until)
+        return stop
 
     def every(
         self, interval: float, callback: Callable[[], None]
@@ -148,6 +184,12 @@ class RecurringEvent:
         if self.cancelled:
             return
         self.callback()
+        # The callback may have cancelled *this* recurring event — at
+        # that point self._event is the already-popped event whose
+        # cancel() is a no-op, so an unconditional reschedule would
+        # push one more live event and keep the heap from draining.
+        if self.cancelled:
+            return
         self._event = self.sim.after(self.interval, self._fire)
 
     def cancel(self) -> None:

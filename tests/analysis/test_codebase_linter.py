@@ -116,6 +116,42 @@ class TestUnusedImport:
         assert lint_source(source, path="src/repro/sim/__init__.py") == []
 
 
+class TestDirectPercentile:
+    _SOURCE = (
+        "import numpy as np\n"
+        "p99 = np.percentile([1.0, 2.0], 99)\n"
+    )
+
+    def test_eqx306_outside_the_stats_layer(self):
+        diags = lint_source(self._SOURCE, path=EVAL_PATH)
+        assert _ids(diags) == ["EQX306"]
+        assert diags[0].location.line == 2
+
+    def test_eqx306_module_alias(self):
+        source = "import numpy\np = numpy.percentile([1.0], 50)\n"
+        diags = lint_source(source, path=CORE_PATH)
+        assert "EQX306" in _ids(diags)
+
+    def test_obs_package_implements_the_sanctioned_path(self):
+        diags = lint_source(self._SOURCE, path="src/repro/obs/sketch.py")
+        assert "EQX306" not in _ids(diags)
+
+    def test_sim_stats_is_exempt(self):
+        diags = lint_source(self._SOURCE, path="src/repro/sim/stats.py")
+        assert "EQX306" not in _ids(diags)
+
+    def test_other_numpy_calls_unflagged(self):
+        source = "import numpy as np\nm = np.mean([1.0, 2.0])\n"
+        assert "EQX306" not in _ids(lint_source(source, path=EVAL_PATH))
+
+    def test_suppression(self):
+        source = (
+            "import numpy as np\n"
+            "p = np.percentile([1.0], 50)  # eqx: ignore[EQX306]\n"
+        )
+        assert _ids(lint_source(source, path=EVAL_PATH)) == []
+
+
 class TestOrdering:
     def test_diagnostics_sorted_by_line(self):
         source = (

@@ -1,0 +1,84 @@
+"""``python -m repro metrics``: smoke, validate, diff."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture(scope="module")
+def smoke_artifact(tmp_path_factory):
+    path = tmp_path_factory.mktemp("metrics") / "smoke.json"
+    assert main(["metrics", "smoke", "--out", str(path)]) == 0
+    return path
+
+
+class TestSmoke:
+    def test_artifact_written_and_valid(self, smoke_artifact, capsys):
+        assert main(["metrics", "validate", str(smoke_artifact)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_artifact_shape(self, smoke_artifact):
+        data = json.loads(smoke_artifact.read_text())
+        assert data["name"] == "smoke"
+        assert data["kind"] == "accelerator"
+        assert data["latency_us"]["p99"] is not None
+        assert data["throughput_top_s"]["training"] > 0
+        assert data["profile"]["events"] > 0
+
+    def test_repeat_run_is_byte_identical(self, smoke_artifact, tmp_path):
+        second = tmp_path / "smoke2.json"
+        assert main(["metrics", "smoke", "--out", str(second)]) == 0
+        assert second.read_text() == smoke_artifact.read_text()
+
+
+class TestValidate:
+    def test_broken_artifact_fails(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({"name": "x"}))
+        assert main(["metrics", "validate", str(path)]) == 1
+        assert "schema" in capsys.readouterr().err
+
+    def test_nan_latency_fails(self, smoke_artifact, tmp_path, capsys):
+        data = json.loads(smoke_artifact.read_text())
+        data["latency_us"]["p99"] = "nan"
+        path = tmp_path / "nan.json"
+        path.write_text(json.dumps(data))
+        assert main(["metrics", "validate", str(path)]) == 1
+        assert "nan" in capsys.readouterr().err
+
+    def test_unreadable_path_fails(self, tmp_path):
+        assert main(["metrics", "validate", str(tmp_path / "no.json")]) == 1
+
+    def test_no_paths_is_a_usage_error(self):
+        assert main(["metrics", "validate"]) == 2
+
+
+class TestDiff:
+    def test_identical_artifacts(self, smoke_artifact, capsys):
+        code = main([
+            "metrics", "diff", str(smoke_artifact), str(smoke_artifact),
+        ])
+        assert code == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_differing_artifacts_exit_nonzero(
+        self, smoke_artifact, tmp_path, capsys
+    ):
+        data = json.loads(smoke_artifact.read_text())
+        data["latency_us"]["p99"] = 123456.0
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps(data))
+        code = main(["metrics", "diff", str(smoke_artifact), str(other)])
+        assert code == 1
+        assert "latency_us.p99" in capsys.readouterr().out
+
+    def test_wrong_arity_is_a_usage_error(self, smoke_artifact):
+        assert main(["metrics", "diff", str(smoke_artifact)]) == 2
+
+
+class TestUnknownTarget:
+    def test_unknown_experiment_name(self, capsys):
+        assert main(["metrics", "nosuch"]) == 2
+        assert "unknown metrics target" in capsys.readouterr().err

@@ -1,0 +1,104 @@
+"""SimProfiler: hot-path hooks, determinism split, injectable clock."""
+
+import pytest
+
+from repro.obs.profile import SimProfiler
+from repro.sim.engine import Event
+
+
+class _FakeClock:
+    """Deterministic wall clock advancing a fixed step per read."""
+
+    def __init__(self, step: float = 0.5):
+        self.step = step
+        self.reads = 0
+
+    def __call__(self) -> float:
+        self.reads += 1
+        return self.reads * self.step
+
+
+def _event(callback, time=0.0, seq=0):
+    return Event(time, seq, callback)
+
+
+def _named_callback():
+    pass
+
+
+class TestHooks:
+    def test_counts_events_and_heap_high_water(self):
+        profiler = SimProfiler(clock=_FakeClock())
+        for depth in (3, 9, 1):
+            event = _event(_named_callback)
+            profiler.before_event(event, depth)
+            profiler.after_event(event)
+        assert profiler.events == 3
+        assert profiler.max_heap_depth == 9
+
+    def test_component_attribution_by_qualname(self):
+        profiler = SimProfiler(clock=_FakeClock())
+        event = _event(_named_callback)
+        profiler.before_event(event, 0)
+        profiler.after_event(event)
+        counts = profiler.component_events()
+        assert len(counts) == 1
+        (name,) = counts
+        assert name.endswith("_named_callback")
+        assert counts[name] == 1.0
+
+    def test_wall_time_from_injected_clock(self):
+        profiler = SimProfiler(clock=_FakeClock(step=0.5))
+        event = _event(_named_callback)
+        profiler.before_event(event, 0)
+        profiler.after_event(event)
+        # One before/after pair = two reads 0.5s apart.
+        assert profiler.wall_seconds == pytest.approx(0.5)
+        assert profiler.events_per_second() == pytest.approx(2.0)
+
+    def test_unmatched_after_is_ignored(self):
+        profiler = SimProfiler(clock=_FakeClock())
+        profiler.after_event(_event(_named_callback))
+        assert profiler.wall_seconds == 0.0
+
+
+class TestExportSplit:
+    def test_deterministic_metrics_exclude_wall_clock(self):
+        profiler = SimProfiler(clock=_FakeClock())
+        event = _event(_named_callback)
+        profiler.before_event(event, 4)
+        profiler.after_event(event)
+        assert profiler.deterministic_metrics() == {
+            "events": 1.0,
+            "max_heap_depth": 4.0,
+        }
+
+    def test_wall_summary_carries_the_clock_data(self):
+        profiler = SimProfiler(clock=_FakeClock(step=1.0))
+        event = _event(_named_callback)
+        profiler.before_event(event, 0)
+        profiler.after_event(event)
+        summary = profiler.wall_summary()
+        assert summary["wall_seconds"] == pytest.approx(1.0)
+        assert any(key.startswith("callback_seconds.") for key in summary)
+
+
+class TestEngineIntegration:
+    def test_profiler_sees_every_executed_event(self, sim):
+        profiler = SimProfiler(clock=_FakeClock())
+        sim.set_profiler(profiler)
+        for t in range(5):
+            sim.at(t, _named_callback)
+        sim.run()
+        assert profiler.events == sim.events_processed == 5
+
+    def test_detach_stops_observation(self, sim):
+        profiler = SimProfiler(clock=_FakeClock())
+        sim.set_profiler(profiler)
+        sim.at(1, _named_callback)
+        sim.run()
+        sim.set_profiler(None)
+        sim.at(2, _named_callback)
+        sim.run()
+        assert profiler.events == 1
+        assert sim.events_processed == 2

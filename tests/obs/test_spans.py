@@ -1,0 +1,97 @@
+"""SpanTracer: live and retroactive spans, aggregation, hierarchy."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
+from repro.sim.trace import Tracer
+
+
+class TestLiveSpans:
+    def test_begin_end_measures_simulated_time(self, sim):
+        tracer = SpanTracer(sim)
+        holder = {}
+        sim.at(5, lambda: holder.setdefault("span", tracer.begin("request")))
+        sim.at(12, lambda: tracer.end(holder["span"]))
+        sim.run()
+        summary = tracer.summary()
+        assert summary["request"] == {
+            "count": 1.0,
+            "total_cycles": 7.0,
+            "mean_cycles": 7.0,
+            "max_cycles": 7.0,
+        }
+
+    def test_open_spans_tracked_until_ended(self, sim):
+        tracer = SpanTracer(sim)
+        span = tracer.begin("request")
+        assert tracer.open_spans == 1
+        tracer.end(span)
+        assert tracer.open_spans == 0
+
+    def test_double_end_raises(self, sim):
+        tracer = SpanTracer(sim)
+        span = tracer.begin("request")
+        tracer.end(span)
+        with pytest.raises(ValueError):
+            tracer.end(span)
+
+    def test_duration_requires_an_end(self, sim):
+        span = SpanTracer(sim).begin("request")
+        with pytest.raises(ValueError):
+            _ = span.duration_cycles
+
+    def test_parent_linkage(self, sim):
+        tracer = SpanTracer(sim)
+        parent = tracer.begin("request")
+        child = tracer.begin("request.queue", parent=parent)
+        assert child.parent_id == parent.span_id
+
+
+class TestRetroactiveSpans:
+    def test_record_with_stamped_endpoints(self, sim):
+        tracer = SpanTracer(sim)
+        tracer.record("request.execute", 10.0, 25.0)
+        tracer.record("request.execute", 30.0, 35.0)
+        summary = tracer.summary()["request.execute"]
+        assert summary["count"] == 2.0
+        assert summary["total_cycles"] == 20.0
+        assert summary["max_cycles"] == 15.0
+
+    def test_record_rejects_negative_duration(self, sim):
+        with pytest.raises(ValueError):
+            SpanTracer(sim).record("bad", 10.0, 5.0)
+
+
+class TestAggregation:
+    def test_summary_names_sorted(self, sim):
+        tracer = SpanTracer(sim)
+        tracer.record("train.step", 0.0, 1.0)
+        tracer.record("request", 0.0, 1.0)
+        assert list(tracer.summary()) == ["request", "train.step"]
+
+    def test_durations_feed_registry_histograms(self, sim):
+        registry = MetricsRegistry()
+        tracer = SpanTracer(sim, registry=registry)
+        tracer.record("request.queue", 0.0, 4.0)
+        tracer.record("request.queue", 0.0, 8.0)
+        histogram = registry.histogram("span.request.queue.cycles")
+        assert histogram.count == 2
+        assert histogram.quantile(100) == pytest.approx(8.0, rel=0.02)
+
+    def test_records_off_by_default(self, sim):
+        tracer = SpanTracer(sim)
+        tracer.record("request", 0.0, 1.0)
+        assert tracer.tracer.records == []
+
+    def test_keep_records_emits_trace_records(self, sim):
+        storage = Tracer(enabled=True)
+        tracer = SpanTracer(sim, tracer=storage, keep_records=True)
+        parent = tracer.begin("request")
+        sim.now = 3.0
+        tracer.end(parent, batch=2)
+        records = storage.filter(component="span")
+        assert len(records) == 1
+        assert records[0].component == "span"
+        assert records[0].payload["end_cycle"] == 3.0
+        assert records[0].payload["batch"] == 2

@@ -3,7 +3,12 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import (
+    STOP_DRAINED,
+    STOP_MAX_EVENTS,
+    STOP_UNTIL,
+    Simulator,
+)
 
 
 class TestScheduling:
@@ -112,3 +117,94 @@ class TestRunControl:
         sim.run()
         assert count[0] == 5
         assert sim.now == 50.0
+
+
+class TestStopReasons:
+    """run() names why it stopped: drained, until, or max_events."""
+
+    def test_drained(self, sim):
+        sim.at(1, lambda: None)
+        assert sim.run() == STOP_DRAINED
+
+    def test_until_with_live_events_beyond(self, sim):
+        sim.at(1, lambda: None)
+        sim.at(10, lambda: None)
+        assert sim.run(until=5) == STOP_UNTIL
+
+    def test_until_with_queue_drained_first(self, sim):
+        sim.at(1, lambda: None)
+        assert sim.run(until=5) == STOP_DRAINED
+
+    def test_max_events(self, sim):
+        for t in range(3):
+            sim.at(t, lambda: None)
+        assert sim.run(max_events=2) == STOP_MAX_EVENTS
+
+
+class TestMaxEventsClock:
+    """Regression: stopping on the event budget must NOT advance the
+    clock to ``until`` — live events may still sit between the last
+    executed event and ``until``, and fabricating that simulated time
+    skews every windowed statistic computed from ``now``."""
+
+    def test_budget_stop_leaves_clock_at_last_event(self, sim):
+        for t in range(1, 11):
+            sim.at(t, lambda: None)
+        reason = sim.run(until=100, max_events=3)
+        assert reason == STOP_MAX_EVENTS
+        assert sim.now == 3.0
+
+    def test_until_stop_still_advances_clock(self, sim):
+        sim.at(1, lambda: None)
+        sim.at(200, lambda: None)
+        assert sim.run(until=100) == STOP_UNTIL
+        assert sim.now == 100.0
+
+    def test_resume_after_budget_stop_is_seamless(self, sim):
+        fired = []
+        for t in range(1, 6):
+            sim.at(t, lambda t=t: fired.append(t))
+        sim.run(max_events=2)
+        sim.run()
+        assert fired == [1, 2, 3, 4, 5]
+
+
+class TestRecurringEvent:
+    def test_fires_every_interval_until_cancelled(self, sim):
+        fired = []
+        recurring = sim.every(10, lambda: fired.append(sim.now))
+        sim.run(until=35)
+        recurring.cancel()
+        sim.run()
+        assert fired == [10.0, 20.0, 30.0]
+
+    def test_rejects_nonpositive_interval(self, sim):
+        with pytest.raises(ValueError):
+            sim.every(0, lambda: None)
+
+    def test_cancel_from_own_callback_drains_the_heap(self, sim):
+        """Regression: the callback cancelling its own RecurringEvent
+        used to race the reschedule — cancel() hit the already-popped
+        event (a no-op) and _fire pushed a fresh live event anyway, so
+        the heap never drained and run() spun until an external stop."""
+        fired = []
+        handle = {}
+
+        def tick():
+            fired.append(sim.now)
+            handle["rec"].cancel()
+
+        handle["rec"] = sim.every(5, tick)
+        reason = sim.run(max_events=100)
+        assert reason == STOP_DRAINED
+        assert fired == [5.0]
+        # No phantom event was scheduled after the cancel.
+        assert sim.now == 5.0
+        assert sim.peek() is None
+
+    def test_cancel_between_firings_skips_inflight_event(self, sim):
+        fired = []
+        recurring = sim.every(5, lambda: fired.append(sim.now))
+        sim.at(12, recurring.cancel)
+        assert sim.run(max_events=100) == STOP_DRAINED
+        assert fired == [5.0, 10.0]

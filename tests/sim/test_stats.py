@@ -1,5 +1,8 @@
 """Latency, throughput and cycle-accounting collectors."""
 
+import math
+
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
@@ -8,7 +11,78 @@ from repro.sim.stats import (
     CycleAccounting,
     LatencyStats,
     ThroughputMeter,
+    inf_aware_percentile,
 )
+
+
+class TestInfAwarePercentile:
+    def test_matches_numpy_on_finite_samples(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        for q in (0, 25, 50, 90, 99, 100):
+            assert inf_aware_percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_regression_two_inf_sentinels_no_longer_nan(self):
+        """Regression: with >=2 inf samples the p99 interpolation step
+        has two infinite endpoints and np.percentile computes
+        inf - inf = nan. The inf-aware version resolves it to inf."""
+        values = [1.0] * 98 + [math.inf, math.inf]
+        with np.errstate(invalid="ignore"):
+            assert math.isnan(float(np.percentile(values, 99)))  # old bug
+        assert inf_aware_percentile(values, 99) == math.inf
+
+    def test_rank_interpolating_toward_inf_is_inf(self):
+        # position 98.01 sits between the last finite sample and inf:
+        # any non-zero weight on the infinite endpoint means inf.
+        values = [1.0] * 99 + [math.inf]
+        assert inf_aware_percentile(values, 99) == math.inf
+
+    def test_rank_exactly_on_finite_sample_stays_finite(self):
+        # 5 samples: position at q=50 is exactly index 2 (no fraction).
+        values = [1.0, 2.0, 3.0, math.inf, math.inf]
+        assert inf_aware_percentile(values, 50) == 3.0
+
+    def test_finite_region_unaffected_by_the_tail(self):
+        finite = [float(v) for v in range(1, 81)]
+        with_tail = finite + [math.inf] * 20
+        # q low enough that both interpolation endpoints stay finite.
+        assert inf_aware_percentile(with_tail, 50) == pytest.approx(
+            float(np.percentile(with_tail, 50))
+        )
+
+    def test_all_inf(self):
+        assert inf_aware_percentile([math.inf, math.inf], 50) == math.inf
+
+    def test_rejects_nan_samples(self):
+        with pytest.raises(ValueError):
+            inf_aware_percentile([1.0, math.nan], 50)
+
+    def test_rejects_empty_and_bad_q(self):
+        with pytest.raises(ValueError):
+            inf_aware_percentile([], 50)
+        with pytest.raises(ValueError):
+            inf_aware_percentile([1.0], 101)
+
+    @given(
+        st.lists(st.floats(0, 1e9), min_size=1, max_size=100),
+        st.integers(0, 5),
+    )
+    def test_deterministic_and_never_nan_with_inf_mixed_in(
+        self, values, inf_count
+    ):
+        mixed = values + [math.inf] * inf_count
+        for q in (50.0, 99.0, 99.9):
+            result = inf_aware_percentile(mixed, q)
+            assert not math.isnan(result)
+            assert result == inf_aware_percentile(mixed, q)
+
+    @given(st.lists(st.floats(0, 1e9), min_size=1, max_size=100))
+    def test_equals_numpy_when_all_finite(self, values):
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert inf_aware_percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q)), nan_ok=False
+            )
 
 
 class TestLatencyStats:
@@ -33,6 +107,37 @@ class TestLatencyStats:
     def test_rejects_negative(self):
         with pytest.raises(ValueError):
             LatencyStats().record(-1.0)
+
+    def test_rejects_nan_sample(self):
+        with pytest.raises(ValueError):
+            LatencyStats().record(math.nan)
+
+    def test_inf_sentinels_give_deterministic_percentiles(self):
+        stats = LatencyStats()
+        for v in range(1, 99):
+            stats.record(float(v))
+        stats.record(math.inf)
+        stats.record(math.inf)
+        assert stats.percentile(50) == pytest.approx(50.5)
+        assert stats.p99() == math.inf
+        assert not math.isnan(stats.p99())
+
+    def test_samples_since_window(self):
+        stats = LatencyStats()
+        for v in (1.0, 2.0, 3.0):
+            stats.record(v)
+        assert stats.samples_since(1) == [2.0, 3.0]
+
+    def test_metrics_source_view(self):
+        stats = LatencyStats()
+        assert stats.metrics() == {"count": 0.0}
+        for v in range(1, 101):
+            stats.record(float(v))
+        view = stats.metrics()
+        assert view["count"] == 100.0
+        assert view["p50"] == pytest.approx(50.5)
+        assert view["p99"] == pytest.approx(99.01)
+        assert view["max"] == 100.0
 
     @given(st.lists(st.floats(0, 1e9), min_size=1, max_size=200))
     def test_percentiles_bounded_by_extremes(self, values):
