@@ -3,9 +3,12 @@
     python -m repro list
     python -m repro table1
     python -m repro fig9 --loads 0.2 0.6 0.95 --report-dir artifacts
+    python -m repro fig7 --jobs 4 --cache-dir .exec-cache
     python -m repro all
     python -m repro analyze --format json --fail-on error
-    python -m repro chaos --seed 7 --report-dir artifacts
+    python -m repro chaos --seed 7 --jobs auto --report-dir artifacts
+    python -m repro sweep --jobs 8 --report-dir artifacts
+    python -m repro bench --out-dir artifacts
     python -m repro metrics smoke --out artifacts/smoke.json
     python -m repro metrics validate artifacts/smoke.json
 
@@ -13,10 +16,15 @@ Experiment subcommands print the same text tables the benchmark harness
 produces; ``all`` regenerates the full evaluation in one go. With
 ``--report-dir``, each experiment additionally writes its structured
 JSON :class:`repro.obs.RunReport` artifact (schema-validated) into that
-directory. The ``analyze`` subcommand runs the static program verifier
-and codebase lint (see :mod:`repro.analysis`); ``chaos`` runs the
-seeded fault-injection scenario matrix (see :mod:`repro.faults.chaos`)
-and prints the degradation table with its determinism self-check;
+directory; with ``--jobs N``/``--cache-dir DIR``, experiments that fan
+out over independent work units run them through the
+:mod:`repro.exec` engine (bit-identical results for any worker count).
+The ``analyze`` subcommand runs the static program verifier and
+codebase lint (see :mod:`repro.analysis`); ``chaos`` runs the seeded
+fault-injection scenario matrix (see :mod:`repro.faults.chaos`) and
+prints the degradation table with its determinism self-check; ``sweep``
+and ``bench`` are the execution engine's own entry points (design-space
+sweep and the pinned perf-trajectory suite, see :mod:`repro.exec.cli`);
 ``metrics`` dumps, validates and diffs run artifacts (see
 :mod:`repro.obs.cli`).
 """
@@ -62,13 +70,17 @@ def _write_artifact(report, directory: str) -> None:
     print(f"[artifact] {path}")
 
 
-def _run_one(name: str, loads, report_dir=None) -> None:
+def _run_one(name: str, loads, report_dir=None, executor=None) -> None:
     module, _ = EXPERIMENTS[name]
     kwargs = {}
     if loads and hasattr(module.run, "__code__") and (
         "loads" in module.run.__code__.co_varnames
     ):
         kwargs["loads"] = tuple(loads)
+    if executor is not None and hasattr(module.run, "__code__") and (
+        "executor" in module.run.__code__.co_varnames
+    ):
+        kwargs["executor"] = executor
     started = time.time()
     if report_dir is not None:
         from repro.eval.runner import capture_run
@@ -88,6 +100,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Regenerate the Equinox paper's tables and figures, "
         "or statically analyze programs and the codebase.",
     )
+    from repro.exec import cli as exec_cli
+
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     for name in sorted(EXPERIMENTS) + ["all"]:
@@ -104,6 +118,7 @@ def _build_parser() -> argparse.ArgumentParser:
             help="also write the structured RunReport artifact "
             "(<dir>/<experiment>.json)",
         )
+        exec_cli.add_executor_arguments(sub)
     subparsers.add_parser("list", help="show experiment descriptions")
 
     analyze = subparsers.add_parser(
@@ -141,6 +156,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write one RunReport artifact per scenario into this "
         "directory (<dir>/chaos.<scenario>.json)",
     )
+    exec_cli.add_executor_arguments(chaos)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="design-space sweep through the execution engine",
+        description="Run the Figure 6 design-space sweep, optionally "
+        "fanned out over worker processes and replayed from the result "
+        "cache; the sweep.json artifact is byte-identical for any "
+        "--jobs value.",
+    )
+    exec_cli.add_sweep_arguments(sweep)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="pinned perf-trajectory benchmark suite",
+        description="Time the pinned kernel suite and write a "
+        "schema-validated BENCH_<rev>.json artifact for "
+        "revision-over-revision performance tracking.",
+    )
+    exec_cli.add_bench_arguments(bench)
 
     metrics = subparsers.add_parser(
         "metrics",
@@ -166,9 +201,18 @@ def main(argv=None) -> int:
         from repro.analysis import cli as analysis_cli
 
         return analysis_cli.run(args)
+    if args.command == "sweep":
+        from repro.exec import cli as exec_cli
+
+        return exec_cli.run_sweep(args)
+    if args.command == "bench":
+        from repro.exec import cli as exec_cli
+
+        return exec_cli.run_bench(args)
     if args.command == "chaos":
         # Imported lazily: chaos pulls in the cluster layer, which the
         # experiment subcommands never need.
+        from repro.exec import cli as exec_cli
         from repro.faults import chaos as chaos_mod
 
         kwargs = {}
@@ -178,6 +222,9 @@ def main(argv=None) -> int:
             kwargs["requests"] = args.requests
         if args.seed is not None:
             kwargs["seed"] = args.seed
+        executor = exec_cli.runner_from_args(args)
+        if executor is not None:
+            kwargs["executor"] = executor
         started = time.time()
         result = chaos_mod.run(**kwargs)
         print(chaos_mod.render(result))
@@ -194,8 +241,13 @@ def main(argv=None) -> int:
     names = (
         sorted(EXPERIMENTS) if args.command == "all" else [args.command]
     )
+    from repro.exec import cli as exec_cli
+
+    executor = exec_cli.runner_from_args(args)
     for name in names:
-        _run_one(name, args.loads, report_dir=args.report_dir)
+        _run_one(
+            name, args.loads, report_dir=args.report_dir, executor=executor
+        )
     return 0
 
 

@@ -25,6 +25,12 @@ parsed module. Shipping rules:
   sentinels for timed-out requests, which plain ``np.percentile``
   propagates as ``nan``; every percentile must go through
   ``inf_aware_percentile``, ``LatencyStats`` or the artifact sketch.
+* **EQX307 adhoc-config-dump** — ``json.dumps``/``json.dump`` of a
+  config object outside :mod:`repro.exec.canonical` (and the obs
+  report serializer). Cache keys and artifact checksums are sha256
+  over *canonical* JSON; an ad-hoc dump (unsorted keys, raw numpy
+  scalars, default inf/nan handling) hashes differently and silently
+  defeats result caching — use ``canonical_json``/``config_digest``.
 
 Suppression: append ``# eqx: ignore[EQX301]`` (or ``# eqx: ignore`` for
 all rules) to the offending line. Suppressions are deliberate
@@ -390,6 +396,59 @@ class DirectPercentileRule(LintRule):
         return diags
 
 
+class AdhocConfigDumpRule(LintRule):
+    """EQX307: json.dumps of a config outside the canonicalizer."""
+
+    rule = rules.ADHOC_CONFIG_DUMP
+
+    _TARGETS = ("json.dumps", "json.dump")
+    #: Identifier fragments marking the dumped value as a config. A
+    #: heuristic on purpose: serializing *reports* or arbitrary
+    #: payloads ad hoc is fine — only configs feed cache keys.
+    _CONFIG_HINTS = ("config", "cfg")
+
+    def applies_to(self, context: LintContext) -> bool:
+        # The canonicalizer is the sanctioned path, and the obs report
+        # serializer defines the shared inf/nan policy it builds on.
+        return not (
+            context.module_path.endswith("exec/canonical.py")
+            or context.module_path.endswith("obs/report.py")
+        )
+
+    @classmethod
+    def _mentions_config(cls, node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            name: Optional[str] = None
+            if isinstance(sub, ast.Name):
+                name = sub.id
+            elif isinstance(sub, ast.Attribute):
+                name = sub.attr
+            if name is not None and any(
+                hint in name.lower() for hint in cls._CONFIG_HINTS
+            ):
+                return True
+        return False
+
+    def check(self, tree: ast.Module, context: LintContext) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted_name(node.func)
+            if name not in self._TARGETS or not node.args:
+                continue
+            if self._mentions_config(node.args[0]):
+                diags.append(rules.diagnostic(
+                    self.rule,
+                    f"{name}() of a config bypasses the canonical "
+                    "serializer: key order, numpy scalars and non-finite "
+                    "floats will hash differently than the exec cache "
+                    "keys — use repro.exec.canonical_json / config_digest",
+                    file=context.path, line=node.lineno,
+                ))
+        return diags
+
+
 #: The shipped rule set, in catalog order.
 DEFAULT_RULES: Tuple[LintRule, ...] = (
     DtypeLeakRule(),
@@ -398,6 +457,7 @@ DEFAULT_RULES: Tuple[LintRule, ...] = (
     UnusedImportRule(),
     UnboundedRetryRule(),
     DirectPercentileRule(),
+    AdhocConfigDumpRule(),
 )
 
 

@@ -138,6 +138,14 @@ DIRECT_PERCENTILE = _register(Rule(
     "requests carry an inf sentinel) and from the artifact sketch — "
     "use inf_aware_percentile / LatencyStats / QuantileSketch.",
 ))
+ADHOC_CONFIG_DUMP = _register(Rule(
+    "EQX307", "adhoc-config-dump", Severity.ERROR,
+    "json.dumps of a config outside repro.exec.canonical: cache keys "
+    "and artifact checksums are sha256 over *canonical* JSON (sorted "
+    "keys, numpy coercion, the obs inf/nan policy); an ad-hoc dump "
+    "hashes differently and silently defeats result caching — use "
+    "repro.exec.canonical_json / config_digest.",
+))
 
 
 def catalog() -> List[Rule]:

@@ -9,7 +9,9 @@ point cloud is what Figure 6 plots and the Pareto frontier summarizes.
 """
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.dse.area import accelerator_area_mm2
 from repro.dse.performance import (
@@ -86,23 +88,47 @@ class DesignSpaceExplorer:
         self.w_values = list(w_values) if w_values is not None else list(DEFAULT_W_GRID)
         if min(self.n_values, default=0) < 1 or min(self.w_values, default=0) < 1:
             raise ValueError("n and w sweeps must be positive")
+        #: Width grid as float64 once — the vectorized feasibility scan
+        #: runs over all widths of a (n, f) point in one shot.
+        self._w_array = np.asarray(self.w_values, dtype=float)
+        #: Per-frequency envelope terms: identical for every (n, w) at
+        #: one operating point, so computing them per point (as the
+        #: scalar path once did) was pure waste.
+        self._term_cache: Dict[float, Tuple[float, float, float, float, float, float]] = {}
+        #: (n, m, w, f) -> DesignPoint: area/power models are pure, and
+        #: best_at/points_at callers revisit identical points.
+        self._eval_cache: Dict[Tuple[int, int, int, float], DesignPoint] = {}
 
     # ------------------------------------------------------------------
     # Feasibility in closed form
     # ------------------------------------------------------------------
 
+    def _envelope_terms(
+        self, frequency_hz: float
+    ) -> Tuple[float, float, float, float, float, float]:
+        """(a_alu_mm2, area_budget, e_alu, e_byte, operand_bytes,
+        p_dyn) at one operating point, memoized per frequency."""
+        terms = self._term_cache.get(frequency_hz)
+        if terms is None:
+            tech = self.tech
+            costs = tech.encoding_costs(self.encoding)
+            terms = (
+                costs.alu_area_um2 / 1e6,
+                tech.alu_area_budget_mm2(),
+                tech.alu_energy_j(self.encoding, frequency_hz),
+                tech.sram_energy_j_per_byte(frequency_hz),
+                costs.operand_bytes,
+                tech.dynamic_power_budget_w(),
+            )
+            self._term_cache[frequency_hz] = terms
+        return terms
+
     def _max_m(self, n: int, w: int, frequency_hz: float) -> Tuple[int, str]:
         """Largest m under both envelopes, and which one binds."""
-        tech = self.tech
-        costs = tech.encoding_costs(self.encoding)
-        a_alu_mm2 = costs.alu_area_um2 / 1e6
-        area_budget = tech.alu_area_budget_mm2()
+        a_alu_mm2, area_budget, e_alu, e_byte, ob, p_dyn = (
+            self._envelope_terms(frequency_hz)
+        )
         m_area = int(area_budget // (n * n * w * a_alu_mm2))
-
-        e_alu = tech.alu_energy_j(self.encoding, frequency_hz)
-        e_byte = tech.sram_energy_j_per_byte(frequency_hz)
-        ob = costs.operand_bytes
-        p_dyn = tech.dynamic_power_budget_w()
         # P_dyn >= f·(m·n²·w·e_alu + e_byte·ob·(w·n + m·w·n + m·n))
         fixed = w * n * e_byte * ob
         per_m = n * n * w * e_alu + e_byte * ob * n * (w + 1)
@@ -112,12 +138,37 @@ class DesignSpaceExplorer:
             return m_area, "area"
         return m_power, "power"
 
+    def _max_m_grid(self, n: int, frequency_hz: float) -> List[Tuple[int, str]]:
+        """:meth:`_max_m` across the whole width grid in one vector op.
+
+        Bit-identical to the scalar path: every term is evaluated in
+        the same order on IEEE-754 doubles, so floor-division lands on
+        the same integer for every width.
+        """
+        a_alu_mm2, area_budget, e_alu, e_byte, ob, p_dyn = (
+            self._envelope_terms(frequency_hz)
+        )
+        w = self._w_array
+        m_area = area_budget // (n * n * w * a_alu_mm2)
+        fixed = w * n * e_byte * ob
+        per_m = n * n * w * e_alu + e_byte * ob * n * (w + 1)
+        m_power = (p_dyn / frequency_hz - fixed) // per_m
+        area_binds = m_area <= m_power
+        m = np.where(area_binds, m_area, m_power)
+        return [
+            (int(m[i]), "area" if area_binds[i] else "power")
+            for i in range(len(self.w_values))
+        ]
+
     def _evaluate(
         self, n: int, m: int, w: int, frequency_hz: float, bound: str
     ) -> DesignPoint:
+        cached = self._eval_cache.get((n, m, w, frequency_hz))
+        if cached is not None:
+            return cached
         area = accelerator_area_mm2(n, m, w, self.encoding, self.tech)
         power = accelerator_power_w(n, m, w, frequency_hz, self.encoding, self.tech)
-        return DesignPoint(
+        point = DesignPoint(
             n=n,
             m=m,
             w=w,
@@ -129,6 +180,8 @@ class DesignSpaceExplorer:
             power_w=power.total_w,
             bound=bound,
         )
+        self._eval_cache[(n, m, w, frequency_hz)] = point
+        return point
 
     # ------------------------------------------------------------------
     # Sweep
@@ -140,8 +193,7 @@ class DesignSpaceExplorer:
         array trades peak throughput for pipeline latency, and the
         latency-constrained Table 1 picks need those variants."""
         points: List[DesignPoint] = []
-        for w in self.w_values:
-            m, bound = self._max_m(n, w, frequency_hz)
+        for w, (m, bound) in zip(self.w_values, self._max_m_grid(n, frequency_hz)):
             if m < 1:
                 continue
             points.append(self._evaluate(n, m, w, frequency_hz, bound))
@@ -158,13 +210,46 @@ class DesignSpaceExplorer:
             key=lambda p: (p.throughput_top_s, -p.service_time_us),
         )
 
-    def sweep(self) -> List[DesignPoint]:
-        """All feasible points — Figure 6's cloud."""
-        points: List[DesignPoint] = []
-        for n in self.n_values:
-            for f in self.frequencies_hz:
-                points.extend(self.points_at(n, f))
-        return points
+    def sweep(
+        self, executor: Optional[Any] = None, chunk: int = 8
+    ) -> List[DesignPoint]:
+        """All feasible points — Figure 6's cloud.
+
+        With an ``executor`` (a :class:`repro.exec.JobRunner`), the n
+        grid is fanned out in chunks of ``chunk`` as ``dse.points``
+        jobs; aggregation preserves sweep order (n outer, frequency
+        inner), so the result is identical to the serial loop for any
+        worker count or chunking. A non-default technology model is
+        not expressible in a job config, so those sweeps silently stay
+        serial.
+        """
+        if executor is None or self.tech is not TSMC28:
+            points: List[DesignPoint] = []
+            for n in self.n_values:
+                for f in self.frequencies_hz:
+                    points.extend(self.points_at(n, f))
+            return points
+        from repro.exec.jobs import Job
+
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        jobs = [
+            Job(
+                "dse.points",
+                {
+                    "encoding": self.encoding,
+                    "n_values": self.n_values[start:start + chunk],
+                    "frequencies_hz": self.frequencies_hz,
+                    "w_values": self.w_values,
+                },
+            )
+            for start in range(0, len(self.n_values), chunk)
+        ]
+        return [
+            DesignPoint(**point)
+            for batch in executor.map(jobs)
+            for point in batch
+        ]
 
     def utilization_of(self, point: DesignPoint) -> float:
         """LSTM-probe MAC utilization of a point (diagnostics)."""

@@ -14,7 +14,7 @@ the sweep behind them is deterministic.
 """
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.dse.explorer import DesignPoint, DesignSpaceExplorer
 from repro.dse.pareto import pareto_frontier
@@ -32,10 +32,16 @@ EQUINOX_LATENCY_CLASSES: Tuple[Tuple[str, Optional[float]], ...] = (
 _SWEEP_CACHE: Dict[Tuple[str, int], List[DesignPoint]] = {}
 
 
-def _sweep(encoding: str, tech: TechnologyModel) -> List[DesignPoint]:
+def _sweep(
+    encoding: str,
+    tech: TechnologyModel,
+    executor: Optional[Any] = None,
+) -> List[DesignPoint]:
     key = (encoding, id(tech))
     if key not in _SWEEP_CACHE:
-        _SWEEP_CACHE[key] = DesignSpaceExplorer(encoding, tech).sweep()
+        _SWEEP_CACHE[key] = DesignSpaceExplorer(encoding, tech).sweep(
+            executor=executor
+        )
     return _SWEEP_CACHE[key]
 
 
@@ -81,17 +87,21 @@ def pareto_table(
 
 
 def frontier(
-    encoding: str = "hbfp8", tech: TechnologyModel = TSMC28
+    encoding: str = "hbfp8",
+    tech: TechnologyModel = TSMC28,
+    executor: Optional[Any] = None,
 ) -> List[DesignPoint]:
     """The Pareto frontier of the sweep (Figure 6's blue dots)."""
-    return pareto_frontier(_sweep(encoding, tech))
+    return pareto_frontier(_sweep(encoding, tech, executor))
 
 
 def design_space(
-    encoding: str = "hbfp8", tech: TechnologyModel = TSMC28
+    encoding: str = "hbfp8",
+    tech: TechnologyModel = TSMC28,
+    executor: Optional[Any] = None,
 ) -> List[DesignPoint]:
     """The full best-per-(n, f) cloud (Figure 6's small dots)."""
-    return list(_sweep(encoding, tech))
+    return list(_sweep(encoding, tech, executor))
 
 
 def equinox_configuration(

@@ -33,10 +33,13 @@ class Fig6Result:
         return max(p.throughput_top_s for p in self.frontiers[encoding])
 
 
-def run(encodings=("hbfp8", "bfloat16")) -> Fig6Result:
+def run(encodings=("hbfp8", "bfloat16"), executor=None) -> Fig6Result:
+    """``executor`` (a :class:`repro.exec.JobRunner`) fans the sweep
+    behind each encoding's cloud out across worker processes; the
+    result is identical either way."""
     return Fig6Result(
-        clouds={enc: design_space(enc) for enc in encodings},
-        frontiers={enc: frontier(enc) for enc in encodings},
+        clouds={enc: design_space(enc, executor=executor) for enc in encodings},
+        frontiers={enc: frontier(enc, executor=executor) for enc in encodings},
     )
 
 

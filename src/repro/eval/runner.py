@@ -92,6 +92,7 @@ class ExperimentCapture:
         self.windows = 0
         self._accel_state: Dict[int, Dict[str, float]] = {}
         self._fault_totals: Dict[int, Dict[str, float]] = {}
+        self._remote_serial = 0
 
     def observe(self, accelerator: EquinoxAccelerator) -> None:
         """Fold one accelerator's state since its last observation."""
@@ -126,6 +127,43 @@ class ExperimentCapture:
             for k, v in accelerator.fault_counters.as_dict().items()
         }
         self.windows += 1
+
+    def state_dict(self) -> Dict[str, Any]:
+        """The capture as JSON-able, lossless, mergeable state.
+
+        Workers running load points in other processes return this
+        through the execution engine; the parent folds each one in with
+        :meth:`merge_state`, in submission order, so a fanned-out
+        experiment aggregates exactly like a serial one.
+        """
+        return {
+            "latency": self.latency_us.to_state(),
+            "duration_cycles": self.duration_cycles,
+            "frequency_hz": self.frequency_hz,
+            "ops": dict(self.ops),
+            "busy": dict(self.busy),
+            "windows": self.windows,
+            "fault_totals": list(self._fault_totals.values()),
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold another capture's :meth:`state_dict` into this one."""
+        self.latency_us.merge_state(state["latency"])
+        self.duration_cycles += float(state["duration_cycles"])
+        if state.get("frequency_hz") is not None:
+            self.frequency_hz = float(state["frequency_hz"])
+        for context, total in state["ops"].items():
+            self.ops[context] = self.ops.get(context, 0.0) + float(total)
+        for category, cycles in state["busy"].items():
+            self.busy[category] = self.busy.get(category, 0.0) + float(cycles)
+        self.windows += int(state["windows"])
+        for totals in state["fault_totals"]:
+            # Remote accelerators are not objects here; give each a
+            # synthetic identity so build_report sums them like locals.
+            self._remote_serial += 1
+            self._fault_totals[-self._remote_serial] = {
+                str(key): float(value) for key, value in totals.items()
+            }
 
     def build_report(
         self, kind: str = "experiment", config: Optional[Dict[str, Any]] = None
@@ -198,6 +236,19 @@ def capture_run(name: str) -> Iterator[ExperimentCapture]:
         yield capture
     finally:
         _ACTIVE_CAPTURE = None
+
+
+def contribute_capture_state(state: Dict[str, Any]) -> None:
+    """Fold a worker-side capture state into the active capture.
+
+    The parallel twin of the ``_ACTIVE_CAPTURE`` hook inside
+    :func:`simulate_load_point`: experiments that fan load points out
+    through :mod:`repro.exec` call this with each job's returned
+    ``capture`` state, in submission order. No-op outside
+    :func:`capture_run`, mirroring the serial hook.
+    """
+    if _ACTIVE_CAPTURE is not None:
+        _ACTIVE_CAPTURE.merge_state(state)
 
 
 def latency_target_us(encoding: str = "hbfp8") -> float:

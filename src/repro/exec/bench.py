@@ -1,0 +1,267 @@
+"""The perf-trajectory bench harness behind ``python -m repro bench``.
+
+Times a pinned suite of kernels — one per hot layer of the codebase —
+and appends the result to the repo's performance record as a
+schema-validated ``BENCH_<rev>.json``. The kernels are *pinned*: their
+shapes and seeds never change between revisions, so two BENCH files
+differ only by code speed (plus host noise), and "make a hot path
+measurably faster" (ROADMAP) has a measurement to move.
+
+Wall-clock timing is inherently nondeterministic, so bench results are
+never cached and never enter a :class:`~repro.obs.report.RunReport`;
+each kernel instead returns a deterministic *work proof* (a count or a
+checksum of what it computed) that IS recorded — a kernel that got
+faster by silently doing less work is visible in the proof column.
+"""
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.exec.canonical import code_fingerprint
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "default_bench_path",
+    "pinned_kernels",
+    "run_suite",
+    "validate_bench",
+    "write_bench",
+]
+
+#: Schema tag every BENCH artifact carries.
+BENCH_SCHEMA = "repro.exec/bench/v1"
+
+#: Default repeats per kernel (after one untimed warmup).
+DEFAULT_REPEATS = 3
+
+
+# ----------------------------------------------------------------------
+# Pinned kernels
+# ----------------------------------------------------------------------
+
+
+def _kernel_dse_sweep() -> float:
+    """Analytic design-space sweep: n 1..96 x full frequency/width grid
+    on a fresh explorer (no memo carry-over between repeats)."""
+    from repro.dse.explorer import DesignSpaceExplorer
+
+    explorer = DesignSpaceExplorer("hbfp8", n_values=range(1, 97))
+    return float(len(explorer.sweep()))
+
+
+def _kernel_load_point() -> float:
+    """One Figure-7 load point: Equinox_500us at 50 % offered load."""
+    from repro.eval.runner import build_accelerator, simulate_load_point
+
+    accelerator = build_accelerator("500us", "hbfp8")
+    report = simulate_load_point(accelerator, 0.5, batches=2, seed=1)
+    return float(report.requests_completed)
+
+
+def _kernel_chaos_scenario() -> float:
+    """One fault-injected accelerator run (HBM ECC retries)."""
+    from repro.core.equinox import EquinoxAccelerator
+    from repro.dse.table1 import equinox_configuration
+    from repro.faults.plan import FaultPlan, HBMFaultSpec
+    from repro.models.lstm import deepbench_lstm
+
+    model = deepbench_lstm()
+    accelerator = EquinoxAccelerator(
+        equinox_configuration("500us"),
+        model,
+        training_model=model,
+        fault_plan=FaultPlan(
+            seed=7, hbm=HBMFaultSpec(error_rate=0.05, max_retries=3)
+        ),
+    )
+    report = accelerator.run(load=0.6, requests=96, seed=7)
+    return float(
+        report.requests_completed + report.faults.faults_injected
+    )
+
+
+def _kernel_gemm() -> float:
+    """HBFP8 datapath GEMM, 192x192 seeded operands."""
+    import numpy as np
+
+    from repro.arith.hbfp import hbfp_gemm
+
+    rng = np.random.default_rng(42)
+    a = rng.standard_normal((192, 192), dtype=np.float32)
+    b = rng.standard_normal((192, 192), dtype=np.float32)
+    out = hbfp_gemm(a, b)
+    return float(np.abs(np.asarray(out, dtype=np.float32)).sum())
+
+
+def _kernel_hbfp_quantize() -> float:
+    """Block-floating-point round trip of a 512x512 seeded tensor."""
+    import numpy as np
+
+    from repro.arith.hbfp import HBFP8, hbfp_quantization_noise
+
+    rng = np.random.default_rng(43)
+    values = rng.standard_normal((512, 512), dtype=np.float32)
+    return hbfp_quantization_noise(values, HBFP8)
+
+
+def pinned_kernels() -> Dict[str, Tuple[str, Callable[[], float]]]:
+    """``name -> (description, zero-arg kernel)`` in canonical order."""
+    return {
+        "dse.sweep": (
+            "design-space sweep, n 1..96, full f/w grid", _kernel_dse_sweep,
+        ),
+        "eval.load_point": (
+            "fig7 load point, Equinox_500us @ 0.5 load", _kernel_load_point,
+        ),
+        "chaos.scenario": (
+            "fault-injected run, HBM ECC 5% err", _kernel_chaos_scenario,
+        ),
+        "arith.gemm": (
+            "hbfp8 GEMM 192x192", _kernel_gemm,
+        ),
+        "arith.hbfp_quantize": (
+            "BFP round trip 512x512", _kernel_hbfp_quantize,
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+
+def run_suite(
+    repeats: int = DEFAULT_REPEATS,
+    kernels: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    """Time the pinned suite; returns the BENCH document (unwritten)."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    suite = pinned_kernels()
+    selected = list(suite) if kernels is None else list(kernels)
+    unknown = [name for name in selected if name not in suite]
+    if unknown:
+        raise KeyError(
+            f"unknown bench kernels {unknown}; available: {sorted(suite)}"
+        )
+    timed: Dict[str, Any] = {}
+    for name in selected:
+        description, kernel = suite[name]
+        kernel()  # warmup: imports, lazy sweep caches, numpy dispatch
+        samples: List[float] = []
+        work = 0.0
+        for _ in range(repeats):
+            started = time.perf_counter()
+            work = kernel()
+            samples.append(time.perf_counter() - started)
+        timed[name] = {
+            "description": description,
+            "repeats": repeats,
+            "wall_s": {
+                "min": min(samples),
+                "mean": sum(samples) / len(samples),
+                "max": max(samples),
+            },
+            "per_repeat_s": samples,
+            "work": work,
+        }
+    return {
+        "schema": BENCH_SCHEMA,
+        "code_version": code_fingerprint(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "created_unix": int(time.time()),
+        "kernels": timed,
+    }
+
+
+def validate_bench(data: Any) -> List[str]:
+    """Schema-validate one BENCH document (empty list = valid)."""
+    problems: List[str] = []
+    if not isinstance(data, dict):
+        return ["bench document must be a JSON object"]
+    if data.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"schema must be {BENCH_SCHEMA!r}, got {data.get('schema')!r}"
+        )
+    if not isinstance(data.get("code_version"), str) or not data.get("code_version"):
+        problems.append("code_version must be a non-empty string")
+    kernels = data.get("kernels")
+    if not isinstance(kernels, dict) or not kernels:
+        return problems + ["kernels must be a non-empty object"]
+    for name, record in kernels.items():
+        if not isinstance(record, dict):
+            problems.append(f"kernels.{name} must be an object")
+            continue
+        wall = record.get("wall_s")
+        if not isinstance(wall, dict):
+            problems.append(f"kernels.{name}.wall_s must be an object")
+            continue
+        values = [wall.get(k) for k in ("min", "mean", "max")]
+        if not all(
+            isinstance(v, (int, float)) and v == v and 0 < v < float("inf")
+            for v in values
+        ):
+            problems.append(
+                f"kernels.{name}.wall_s needs finite positive min/mean/max"
+            )
+        elif not wall["min"] <= wall["mean"] <= wall["max"]:
+            problems.append(
+                f"kernels.{name}.wall_s min/mean/max out of order"
+            )
+        repeats = record.get("repeats")
+        if not isinstance(repeats, int) or repeats < 1:
+            problems.append(f"kernels.{name}.repeats must be a positive int")
+    return problems
+
+
+def default_bench_path(
+    out_dir: "str | os.PathLike[str]" = ".", rev: Optional[str] = None
+) -> str:
+    """``<out_dir>/BENCH_<rev>.json``; rev defaults to the code
+    fingerprint's first 12 hex digits."""
+    if rev is None:
+        rev = code_fingerprint()[:12]
+    return os.path.join(os.fspath(out_dir), f"BENCH_{rev}.json")
+
+
+def write_bench(document: Dict[str, Any], path: str) -> str:
+    """Validate and write one BENCH document; raises on schema error."""
+    problems = validate_bench(document)
+    if problems:
+        raise ValueError(
+            "refusing to write invalid BENCH document: " + "; ".join(problems)
+        )
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def render_suite(document: Dict[str, Any]) -> str:
+    """Human-readable table of one BENCH document."""
+    lines = [
+        f"bench suite @ {document['code_version'][:12]} "
+        f"(python {document['python']}, {document['cpu_count']} cpus, "
+        f"repeats={next(iter(document['kernels'].values()))['repeats']})",
+        "",
+        f"{'kernel':<22} {'min (ms)':>10} {'mean (ms)':>10} "
+        f"{'max (ms)':>10} {'work':>14}",
+    ]
+    lines.append("-" * len(lines[-1]))
+    for name, record in document["kernels"].items():
+        wall = record["wall_s"]
+        lines.append(
+            f"{name:<22} {wall['min'] * 1e3:>10.2f} "
+            f"{wall['mean'] * 1e3:>10.2f} {wall['max'] * 1e3:>10.2f} "
+            f"{record['work']:>14.4g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Canonical config/result serialization and the code fingerprint.
+
+Everything the execution engine hashes or stores flows through this
+module, and through nothing else — ad-hoc ``json.dumps`` of a config is
+a lint error (EQX307) precisely because two serializations of the same
+config must never disagree. The canonical form is:
+
+* keys sorted, compact separators (no whitespace ambiguity),
+* numpy scalars collapsed to Python numbers via ``item()``,
+* non-finite floats encoded as the strings ``"inf"``/``"-inf"``/
+  ``"nan"`` (JSON has no literal for them) — the exact policy of
+  :mod:`repro.obs.report`, shared by importing its ``jsonable`` /
+  ``from_jsonable`` pair rather than re-implementing it.
+
+``encode``/``decode`` round-trip a value through that form, which is
+also how the scheduler *normalizes* every job result: serial, parallel
+and cached executions all hand back ``decode(encode(result))``, so the
+execution mode can never leak through result types (tuples become
+lists, numpy scalars become floats) and byte-level artifact determinism
+follows structurally.
+
+``code_fingerprint`` hashes the ``repro`` source tree itself; it is the
+default ``code_version`` of every job, so editing any module under
+``src/repro`` invalidates cached results without any manual epoch bump.
+"""
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.obs.report import from_jsonable, jsonable
+
+__all__ = [
+    "canonical_json",
+    "code_fingerprint",
+    "config_digest",
+    "decode",
+    "encode",
+]
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical serialization of one JSON-able value."""
+    return json.dumps(
+        jsonable(value), sort_keys=True, separators=(",", ":"),
+        allow_nan=False, ensure_ascii=True,
+    )
+
+
+def encode(value: Any) -> str:
+    """Alias of :func:`canonical_json` (the cache's storage form)."""
+    return canonical_json(value)
+
+
+def decode(text: str) -> Any:
+    """Parse canonical JSON, restoring inf/nan sentinel strings."""
+    return from_jsonable(json.loads(text))
+
+
+def config_digest(value: Any) -> str:
+    """sha256 hex digest of a value's canonical serialization."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+#: Process-wide memo: the tree is immutable for the life of a run.
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """One sha256 over every ``*.py`` file of the installed ``repro``
+    package, in sorted relative-path order.
+
+    Cached per process — the fingerprint is read once per job key, and
+    hashing ~100 small files costs a few milliseconds.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+        digest.update(f"py{sys.version_info[0]}.{sys.version_info[1]}".encode())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT

@@ -1,0 +1,218 @@
+"""CLI glue for the execution engine.
+
+Three pieces, all consumed by ``python -m repro``:
+
+* :func:`add_executor_arguments` / :func:`runner_from_args` — the
+  shared ``--jobs N|auto`` / ``--cache-dir`` flags every experiment
+  subcommand grows, resolved into one :class:`JobRunner`;
+* the ``sweep`` subcommand — the Figure 6 design-space sweep fanned
+  out through the engine, with a byte-deterministic ``sweep.json``
+  RunReport artifact (identical for any ``--jobs`` value);
+* the ``bench`` subcommand — the pinned perf-trajectory suite writing
+  ``BENCH_<rev>.json`` (see :mod:`repro.exec.bench`).
+"""
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.exec.scheduler import JobRunner
+
+__all__ = [
+    "add_bench_arguments",
+    "add_executor_arguments",
+    "add_sweep_arguments",
+    "run_bench",
+    "run_sweep",
+    "runner_from_args",
+]
+
+
+# ----------------------------------------------------------------------
+# Shared executor flags
+# ----------------------------------------------------------------------
+
+
+def add_executor_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", default=None, metavar="N",
+        help="fan independent work units out over N worker processes "
+        "('auto' = CPU count); results are bit-identical to --jobs 1",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache: identical (config, seed, "
+        "code) jobs are replayed from disk instead of recomputed",
+    )
+
+
+def runner_from_args(args: argparse.Namespace) -> Optional[JobRunner]:
+    """A runner when ``--jobs``/``--cache-dir`` was given, else None
+    (experiments keep their historical in-process path)."""
+    jobs = getattr(args, "jobs", None)
+    cache_dir = getattr(args, "cache_dir", None)
+    if jobs is None and cache_dir is None:
+        return None
+    return JobRunner(jobs=jobs if jobs is not None else 1, cache_dir=cache_dir)
+
+
+# ----------------------------------------------------------------------
+# sweep
+# ----------------------------------------------------------------------
+
+
+def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--encodings", nargs="+", default=["hbfp8", "bfloat16"],
+        help="datapath encodings to sweep",
+    )
+    parser.add_argument(
+        "--n-max", type=int, default=256,
+        help="largest systolic-array side n to sweep (grid is 1..n-max)",
+    )
+    parser.add_argument(
+        "--chunk", type=int, default=8,
+        help="n-values per job (job granularity, not results: the "
+        "artifact is identical for any chunking)",
+    )
+    parser.add_argument(
+        "--report-dir", default=None,
+        help="write the structured sweep RunReport artifact "
+        "(<dir>/sweep.json)",
+    )
+    add_executor_arguments(parser)
+
+
+def run_sweep(args: argparse.Namespace) -> int:
+    from repro.dse.explorer import DesignSpaceExplorer
+    from repro.dse.pareto import pareto_frontier
+    from repro.eval.fig6 import Fig6Result, render
+    from repro.exec.canonical import code_fingerprint, config_digest
+
+    if args.n_max < 1:
+        print(f"--n-max must be >= 1, got {args.n_max}", file=sys.stderr)
+        return 2
+    runner = runner_from_args(args) or JobRunner(jobs=1)
+    clouds = {}
+    frontiers = {}
+    for encoding in args.encodings:
+        explorer = DesignSpaceExplorer(
+            encoding, n_values=range(1, args.n_max + 1)
+        )
+        clouds[encoding] = explorer.sweep(executor=runner, chunk=args.chunk)
+        frontiers[encoding] = pareto_frontier(clouds[encoding])
+    result = Fig6Result(clouds=clouds, frontiers=frontiers)
+    print(render(result))
+    counters = runner.counters
+    print(
+        f"\n[exec: jobs={runner.jobs} executed={counters['executed']} "
+        f"cache_hits={counters['cache_hits']} "
+        f"retries={counters['retries']}]",
+        file=sys.stderr,
+    )
+    if args.report_dir is not None:
+        report = _sweep_report(args, result, code_fingerprint, config_digest)
+        _write_report(report, args.report_dir)
+    return 0
+
+
+def _sweep_report(args, result, code_fingerprint, config_digest):
+    """The sweep artifact. Every field is a function of the sweep
+    *results* and grid — never of --jobs/--chunk/--cache-dir — which is
+    what makes the byte-identity guarantee checkable with cmp(1)."""
+    from dataclasses import asdict
+
+    from repro.obs.report import RunReport
+
+    metrics = {}
+    checksums = {}
+    for encoding in args.encodings:
+        cloud = result.clouds[encoding]
+        front = result.frontiers[encoding]
+        metrics[encoding] = {
+            "cloud_points": len(cloud),
+            "frontier_points": len(front),
+            "knee_top_s": result.knee_throughput(encoding),
+            "max_top_s": result.max_throughput(encoding),
+            "min_service_us": min(p.service_time_us for p in front),
+        }
+        checksums[encoding] = config_digest([asdict(p) for p in cloud])
+    return RunReport(
+        name="sweep",
+        kind="experiment",
+        config={
+            "encodings": list(args.encodings),
+            "n_max": args.n_max,
+            "code_version": code_fingerprint(),
+            "cloud_sha256": checksums,
+        },
+        metrics=metrics,
+    )
+
+
+def _write_report(report, directory: str) -> None:
+    import os
+
+    from repro.obs.report import validate_report
+
+    text = report.to_json()
+    for problem in validate_report(json.loads(text)):
+        print(f"invalid artifact {report.name}: {problem}", file=sys.stderr)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{report.name}.json")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print(f"[artifact] {path}")
+
+
+# ----------------------------------------------------------------------
+# bench
+# ----------------------------------------------------------------------
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timed repeats per kernel (default 3, after one warmup)",
+    )
+    parser.add_argument(
+        "--kernels", nargs="+", default=None,
+        help="subset of pinned kernels to run (default: all)",
+    )
+    parser.add_argument(
+        "--out-dir", default=".",
+        help="directory for the BENCH_<rev>.json artifact",
+    )
+    parser.add_argument(
+        "--rev", default=None,
+        help="revision label in the filename (default: code fingerprint)",
+    )
+    parser.add_argument(
+        "--validate-only", default=None, metavar="PATH",
+        help="validate an existing BENCH file instead of running",
+    )
+
+
+def run_bench(args: argparse.Namespace) -> int:
+    from repro.exec import bench
+
+    if args.validate_only is not None:
+        with open(args.validate_only) as handle:
+            data = json.load(handle)
+        problems = bench.validate_bench(data)
+        for problem in problems:
+            print(f"invalid bench file: {problem}", file=sys.stderr)
+        print(
+            f"{args.validate_only}: "
+            + ("ok" if not problems else f"{len(problems)} problem(s)")
+        )
+        return 1 if problems else 0
+
+    repeats = args.repeats if args.repeats is not None else bench.DEFAULT_REPEATS
+    document = bench.run_suite(repeats=repeats, kernels=args.kernels)
+    print(bench.render_suite(document))
+    path = bench.default_bench_path(args.out_dir, rev=args.rev)
+    bench.write_bench(document, path)
+    print(f"\n[bench] {path}")
+    return 0

@@ -1,0 +1,312 @@
+"""Job execution: serial fast path and the process-pool scheduler.
+
+Design goals, in priority order:
+
+1. **Determinism** — results are aggregated in *submission order*
+   regardless of completion order, and every result (serial, parallel
+   or cached) is normalized through the canonical JSON round-trip, so
+   ``--jobs 8`` is bit-identical to ``--jobs 1``.
+2. **Isolation** — a worker crash (``BrokenProcessPool``) or a per-job
+   wall-clock timeout poisons only the in-flight window: the pool is
+   respawned and the affected jobs re-queued under a *bounded* retry
+   budget (the same philosophy as :mod:`repro.faults`' ``max_retries``
+   — recovery always terminates). A job function *raising* is
+   deterministic by the purity contract and therefore never retried.
+3. **Bounded memory** — at most ``max_in_flight`` jobs are submitted at
+   once, so a million-point sweep never materializes a million futures.
+
+Workers are reused across jobs (one ``ProcessPoolExecutor`` for the
+whole run); each worker imports the job function through the registry,
+so nothing but ``(fn_id, config, seed)`` ever crosses the pipe.
+"""
+
+import os
+from collections import deque
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.exec.cache import ResultCache
+from repro.exec.jobs import Job, run_job
+
+__all__ = [
+    "JobExecutionError",
+    "JobRunner",
+    "ProcessPoolScheduler",
+    "resolve_jobs",
+    "run_jobs",
+]
+
+#: Default per-job retry budget for *infrastructure* failures (worker
+#: crash, timeout). Deterministic job exceptions are never retried.
+DEFAULT_MAX_RETRIES = 2
+
+
+class JobExecutionError(RuntimeError):
+    """A job failed beyond recovery (raised, or exhausted its budget)."""
+
+    def __init__(self, job: Job, reason: str):
+        super().__init__(f"{job!r} failed: {reason}")
+        self.job = job
+        self.reason = reason
+
+
+def resolve_jobs(value: "str | int | None") -> int:
+    """Parse a ``--jobs`` value: int, ``"auto"`` (CPU count) or None."""
+    if value is None:
+        return 1
+    if isinstance(value, str):
+        if value.strip().lower() == "auto":
+            return max(1, os.cpu_count() or 1)
+        value = int(value)
+    if value < 1:
+        raise ValueError(f"--jobs must be >= 1 or 'auto', got {value}")
+    return value
+
+
+def _execute(fn_id: str, config: Any, seed: int) -> Any:
+    """Worker-side entry point (module-level: picklable under spawn)."""
+    return run_job(fn_id, config, seed)
+
+
+class ProcessPoolScheduler:
+    """Runs job batches on a reusable worker pool.
+
+    Args:
+        workers: Pool size; ``1`` short-circuits to in-process serial
+            execution (no pool, no pickling — but the same canonical
+            result normalization).
+        cache: Optional :class:`ResultCache` consulted before and
+            written after every execution (single-writer: only the
+            parent process touches the cache directory).
+        timeout_s: Per-job wall-clock budget once the job's future is
+            the oldest in flight; ``None`` disables. On expiry the pool
+            is torn down (hung workers are killed) and the in-flight
+            window is re-queued within the retry budget.
+        max_retries: Infrastructure-failure budget *per job*.
+        max_in_flight: Submission window (default ``4 × workers``).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        timeout_s: Optional[float] = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        max_in_flight: Optional[int] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.workers = workers
+        self.cache = cache
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.max_in_flight = (
+            max_in_flight if max_in_flight is not None else 4 * workers
+        )
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        #: Faults-style counters: how the run degraded, never hidden.
+        self.counters: Dict[str, int] = {
+            "executed": 0, "cache_hits": 0, "crashes": 0,
+            "timeouts": 0, "retries": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(self, jobs: Sequence[Job]) -> List[Any]:
+        """Execute ``jobs``, returning results in submission order."""
+        jobs = list(jobs)
+        results: List[Any] = [None] * len(jobs)
+        todo: List[int] = []
+        for index, job in enumerate(jobs):
+            if self.cache is not None:
+                hit, value = self.cache.get(job)
+                if hit:
+                    results[index] = value
+                    self.counters["cache_hits"] += 1
+                    continue
+            todo.append(index)
+        if not todo:
+            return results
+        if self.workers <= 1:
+            self._run_serial(jobs, todo, results)
+        else:
+            self._run_pool(jobs, todo, results)
+        return results
+
+    # ------------------------------------------------------------------
+    # Serial fast path
+    # ------------------------------------------------------------------
+
+    def _run_serial(
+        self, jobs: Sequence[Job], todo: Sequence[int], results: List[Any]
+    ) -> None:
+        for index in todo:
+            job = jobs[index]
+            try:
+                value = _execute(job.fn_id, job.config, job.seed)
+            except Exception as exc:
+                raise JobExecutionError(job, f"raised {exc!r}") from exc
+            self.counters["executed"] += 1
+            results[index] = value
+            if self.cache is not None:
+                self.cache.put(job, value)
+
+    # ------------------------------------------------------------------
+    # Pool path
+    # ------------------------------------------------------------------
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down even if a worker is wedged."""
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:  # eqx: ignore[EQX303] — best-effort kill
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _run_pool(
+        self, jobs: Sequence[Job], todo: Sequence[int], results: List[Any]
+    ) -> None:
+        queue = deque(todo)
+        attempts = {index: 0 for index in todo}
+        inflight: "deque[tuple[int, Any]]" = deque()
+        pool = self._new_pool()
+        try:
+            while queue or inflight:
+                while queue and len(inflight) < self.max_in_flight:
+                    index = queue.popleft()
+                    job = jobs[index]
+                    inflight.append(
+                        (index, pool.submit(
+                            _execute, job.fn_id, job.config, job.seed
+                        ))
+                    )
+                # Wait on the *oldest* future: aggregation is ordered
+                # anyway, so nothing is gained by racing completions.
+                index, future = inflight.popleft()
+                try:
+                    value = future.result(timeout=self.timeout_s)
+                except FutureTimeoutError:
+                    self.counters["timeouts"] += 1
+                    pool = self._recover(
+                        pool, jobs, queue, inflight, attempts,
+                        index, "timed out",
+                    )
+                    continue
+                except BrokenProcessPool:
+                    self.counters["crashes"] += 1
+                    pool = self._recover(
+                        pool, jobs, queue, inflight, attempts,
+                        index, "worker crashed",
+                    )
+                    continue
+                except Exception as exc:
+                    # Deterministic failure: the job itself raised.
+                    raise JobExecutionError(
+                        jobs[index], f"raised {exc!r}"
+                    ) from exc
+                self.counters["executed"] += 1
+                results[index] = value
+                if self.cache is not None:
+                    self.cache.put(jobs[index], value)
+        finally:
+            self._kill_pool(pool)
+
+    def _recover(
+        self,
+        pool: ProcessPoolExecutor,
+        jobs: Sequence[Job],
+        queue: "deque[int]",
+        inflight: "deque[tuple[int, Any]]",
+        attempts: Dict[int, int],
+        failed_index: int,
+        reason: str,
+    ) -> ProcessPoolExecutor:
+        """Respawn the pool and re-queue the in-flight window.
+
+        A crash/timeout cannot always be attributed to one job (a
+        broken pool fails every outstanding future), so the whole
+        window is charged one attempt — the budget still bounds total
+        respawns per job, and innocent victims complete on the next
+        pass.
+        """
+        self._kill_pool(pool)
+        window = [failed_index] + [index for index, _ in inflight]
+        inflight.clear()
+        for index in reversed(window):
+            attempts[index] += 1
+            if attempts[index] > self.max_retries:
+                raise JobExecutionError(
+                    jobs[index],
+                    f"{reason}; retry budget of {self.max_retries} "
+                    "exhausted",
+                )
+            self.counters["retries"] += 1
+            queue.appendleft(index)
+        return self._new_pool()
+
+
+class JobRunner:
+    """The executor handle experiment code passes around.
+
+    Thin, picklable-free facade binding a worker count, an optional
+    cache directory and the timeout/retry policy; ``map`` runs one
+    batch. ``JobRunner(jobs=1)`` is the always-available serial engine
+    — experiment code never branches on "parallel or not", it just
+    builds jobs and maps them.
+    """
+
+    def __init__(
+        self,
+        jobs: "str | int | None" = 1,
+        cache_dir: "str | os.PathLike[str] | None" = None,
+        timeout_s: Optional[float] = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.scheduler = ProcessPoolScheduler(
+            workers=self.jobs,
+            cache=self.cache,
+            timeout_s=timeout_s,
+            max_retries=max_retries,
+        )
+
+    def map(self, jobs: Sequence[Job]) -> List[Any]:
+        return self.scheduler.run(jobs)
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return dict(self.scheduler.counters)
+
+    def __repr__(self) -> str:
+        cache = (
+            str(self.cache.directory) if self.cache is not None else None
+        )
+        return f"JobRunner(jobs={self.jobs}, cache_dir={cache!r})"
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    n_jobs: "str | int | None" = 1,
+    cache_dir: "str | os.PathLike[str] | None" = None,
+    timeout_s: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+) -> List[Any]:
+    """One-shot convenience: build a runner, map, return results."""
+    return JobRunner(
+        jobs=n_jobs, cache_dir=cache_dir, timeout_s=timeout_s,
+        max_retries=max_retries,
+    ).map(jobs)

@@ -13,8 +13,8 @@ consumes this; a ``None`` admission control reproduces the historical
 unbounded behaviour exactly.
 """
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Mapping, Optional
 
 
 @dataclass(frozen=True)
@@ -69,3 +69,13 @@ class AdmissionControl:
         if attempt < 1:
             raise ValueError(f"attempt must be >= 1, got {attempt}")
         return self.backoff_cycles * (2.0 ** (attempt - 1))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form, round-tripping through :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdmissionControl":
+        """Rebuild a policy from :meth:`to_dict` output (validation in
+        ``__post_init__`` re-runs)."""
+        return cls(**dict(data))

@@ -12,8 +12,8 @@ p99 latency and harvested training throughput for single-accelerator
 scenarios, samples/s and surviving-worker counts for fleet scenarios.
 """
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster.fleet import EquinoxFleet
 from repro.core.equinox import EquinoxAccelerator
@@ -181,10 +181,71 @@ def _fleet_row(
     return row, first, artifact
 
 
+def run_scenario(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Execute one scenario from pure data — the ``chaos.scenario`` job.
+
+    ``config`` carries everything but the seed: ``kind`` ("accel" |
+    "fleet"), ``name``, ``description``, an optional ``plan``
+    (:meth:`FaultPlan.to_dict`), and per-kind drive parameters
+    (``load``/``requests``/``admission`` or ``load``/
+    ``round_timeout_s``). Returns JSON-able ``row`` + ``artifact``
+    dicts (plus ``round_compute_s`` for fleet scenarios, which
+    calibrates the chaos round timeout).
+    """
+    plan = (
+        FaultPlan.from_dict(config["plan"])
+        if config.get("plan") is not None
+        else None
+    )
+    kind = str(config["kind"])
+    name = str(config["name"])
+    description = str(config["description"])
+    if kind == "accel":
+        admission = (
+            AdmissionControl.from_dict(config["admission"])
+            if config.get("admission") is not None
+            else None
+        )
+        row, artifact = _accel_row(
+            name, description, plan, admission,
+            float(config["load"]), int(config["requests"]), seed,
+        )
+        return {"row": asdict(row), "artifact": artifact.to_dict()}
+    if kind == "fleet":
+        timeout = config.get("round_timeout_s")
+        row, report, artifact = _fleet_row(
+            name, description, plan,
+            float(timeout) if timeout is not None else None,
+            float(config["load"]), seed,
+        )
+        return {
+            "row": asdict(row),
+            "artifact": artifact.to_dict(),
+            "round_compute_s": report.round.compute_s,
+        }
+    raise ValueError(f"unknown scenario kind {kind!r}")
+
+
+def _map_scenarios(
+    specs: List[Dict[str, Any]], seed: int, executor: Optional[Any]
+) -> List[Dict[str, Any]]:
+    """Run scenario specs, in order — inline, or fanned out as
+    ``chaos.scenario`` jobs. Both paths execute :func:`run_scenario`
+    on identical data, so the matrix is the same either way."""
+    if executor is None:
+        return [run_scenario(spec, seed) for spec in specs]
+    from repro.exec.jobs import Job
+
+    return executor.map(
+        [Job("chaos.scenario", spec, seed=seed) for spec in specs]
+    )
+
+
 def run(
     load: float = DEFAULT_LOAD,
     requests: int = DEFAULT_REQUESTS,
     seed: int = 7,
+    executor: Optional[Any] = None,
 ) -> Dict:
     """Execute the chaos matrix and return the scenario rows.
 
@@ -194,6 +255,10 @@ def run(
         requests: Requests measured per single-accelerator scenario.
         seed: Base seed for both the arrival processes and the fault
             plans.
+        executor: Optional :class:`repro.exec.JobRunner`; scenarios
+            (independent by construction) fan out across workers, with
+            one barrier where the fleet-chaos round timeout is
+            calibrated from the fault-free fleet round.
     """
     config = equinox_configuration(LATENCY_CLASS)
     # One throwaway accelerator to express deadlines/queues in units of
@@ -202,92 +267,105 @@ def run(
     service_cycles = probe.batch_service_cycles()
     slots = probe.batch_slots
 
+    specs: List[Dict[str, Any]] = [
+        {
+            "kind": "accel", "name": "baseline",
+            "description": "fault-free control arm",
+            "plan": None, "admission": None,
+            "load": load, "requests": requests,
+        },
+        {
+            "kind": "accel", "name": "hbm_ecc",
+            "description": "transient HBM ECC errors, bounded retry",
+            "plan": FaultPlan(
+                seed=seed, hbm=HBMFaultSpec(error_rate=0.05, max_retries=3)
+            ).to_dict(),
+            "admission": None, "load": load, "requests": requests,
+        },
+        {
+            "kind": "accel", "name": "tile_stalls",
+            "description": "tile/PE stalls inflating MMU occupancy",
+            "plan": FaultPlan(
+                seed=seed,
+                mmu=MMUFaultSpec(
+                    stall_rate=0.10, stall_cycles=0.25 * service_cycles
+                ),
+            ).to_dict(),
+            "admission": None, "load": load, "requests": requests,
+        },
+        {
+            "kind": "accel", "name": "lossy_frontend",
+            "description": "request drops and wire delays",
+            "plan": FaultPlan(
+                seed=seed,
+                requests=RequestFaultSpec(
+                    drop_rate=0.05,
+                    delay_rate=0.10,
+                    delay_cycles=0.5 * service_cycles,
+                ),
+            ).to_dict(),
+            "admission": None, "load": load, "requests": requests,
+        },
+        {
+            "kind": "accel", "name": "overload_shed",
+            "description": "delay faults vs bounded queue + deadlines",
+            "plan": FaultPlan(
+                seed=seed,
+                requests=RequestFaultSpec(
+                    delay_rate=0.25, delay_cycles=2.0 * service_cycles
+                ),
+            ).to_dict(),
+            "admission": AdmissionControl(
+                max_queue_requests=4 * slots,
+                deadline_cycles=8.0 * service_cycles,
+                max_retries=1,
+                backoff_cycles=0.5 * service_cycles,
+            ).to_dict(),
+            "load": load, "requests": requests,
+        },
+        {
+            "kind": "fleet", "name": "fleet_baseline",
+            "description": f"{FLEET_SIZE}-worker fleet, fault-free",
+            "plan": None, "round_timeout_s": None, "load": load,
+        },
+    ]
+
     rows: List[ChaosRow] = []
     #: Per-scenario structured run artifacts (``RunReport``), keyed by
     #: scenario name — what ``python -m repro chaos --report-dir`` dumps.
     artifacts: Dict[str, object] = {}
 
-    def _add_accel(*args) -> None:
-        row, artifact = _accel_row(*args)
+    def _collect(result: Dict[str, Any]) -> ChaosRow:
+        from repro.obs.report import RunReport
+
+        row = ChaosRow(**result["row"])
         rows.append(row)
-        artifacts[row.name] = artifact
+        artifacts[row.name] = RunReport.from_dict(result["artifact"])
+        return row
 
-    _add_accel(
-        "baseline", "fault-free control arm", None, None,
-        load, requests, seed,
-    )
-    _add_accel(
-        "hbm_ecc",
-        "transient HBM ECC errors, bounded retry",
-        FaultPlan(seed=seed, hbm=HBMFaultSpec(error_rate=0.05, max_retries=3)),
-        None, load, requests, seed,
-    )
-    _add_accel(
-        "tile_stalls",
-        "tile/PE stalls inflating MMU occupancy",
-        FaultPlan(
-            seed=seed,
-            mmu=MMUFaultSpec(stall_rate=0.10, stall_cycles=0.25 * service_cycles),
-        ),
-        None, load, requests, seed,
-    )
-    _add_accel(
-        "lossy_frontend",
-        "request drops and wire delays",
-        FaultPlan(
-            seed=seed,
-            requests=RequestFaultSpec(
-                drop_rate=0.05,
-                delay_rate=0.10,
-                delay_cycles=0.5 * service_cycles,
-            ),
-        ),
-        None, load, requests, seed,
-    )
-    _add_accel(
-        "overload_shed",
-        "delay faults vs bounded queue + deadlines",
-        FaultPlan(
-            seed=seed,
-            requests=RequestFaultSpec(
-                delay_rate=0.25, delay_cycles=2.0 * service_cycles
-            ),
-        ),
-        AdmissionControl(
-            max_queue_requests=4 * slots,
-            deadline_cycles=8.0 * service_cycles,
-            max_retries=1,
-            backoff_cycles=0.5 * service_cycles,
-        ),
-        load, requests, seed,
-    )
-
-    fleet_baseline, fleet_report, fleet_artifact = _fleet_row(
-        "fleet_baseline",
-        f"{FLEET_SIZE}-worker fleet, fault-free",
-        None, None, load, seed,
-    )
-    rows.append(fleet_baseline)
-    artifacts[fleet_baseline.name] = fleet_artifact
+    results = _map_scenarios(specs, seed, executor)
+    for result in results:
+        _collect(result)
     # Self-calibrate the barrier timeout off the fault-free round so the
-    # chaos straggler (slowed STRAGGLER_SLOWDOWN×) lands beyond it.
-    healthy_iteration_s = fleet_report.round.compute_s
-    chaos_row, _, chaos_artifact = _fleet_row(
-        "fleet_chaos",
-        "HBM errors + 1 crash + 1 straggler, partial aggregation",
-        FaultPlan(
+    # chaos straggler (slowed STRAGGLER_SLOWDOWN×) lands beyond it —
+    # the one sequencing barrier in the matrix.
+    healthy_iteration_s = float(results[-1]["round_compute_s"])
+    chaos_spec = {
+        "kind": "fleet", "name": "fleet_chaos",
+        "description": "HBM errors + 1 crash + 1 straggler, "
+        "partial aggregation",
+        "plan": FaultPlan(
             seed=seed,
             hbm=HBMFaultSpec(error_rate=0.005, max_retries=3),
             workers=WorkerFaultSpec(
                 crashed=(FLEET_SIZE - 1,),
                 stragglers=((1, STRAGGLER_SLOWDOWN),),
             ),
-        ),
-        ROUND_TIMEOUT_X * healthy_iteration_s,
-        load, seed,
-    )
-    rows.append(chaos_row)
-    artifacts[chaos_row.name] = chaos_artifact
+        ).to_dict(),
+        "round_timeout_s": ROUND_TIMEOUT_X * healthy_iteration_s,
+        "load": load,
+    }
+    _collect(_map_scenarios([chaos_spec], seed, executor)[0])
     return {
         "rows": rows,
         "artifacts": artifacts,

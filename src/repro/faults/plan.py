@@ -10,7 +10,7 @@ draws of another.
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Any, Dict, Mapping, Tuple
 
 import numpy as np
 
@@ -180,6 +180,54 @@ class FaultPlan:
         """
         key = zlib.crc32(component.encode("utf-8"))
         return np.random.default_rng([self.seed, key, instance])
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The plan as plain JSON-able data (tuples become lists).
+
+        Round-trips through :meth:`from_dict`; this is how a plan rides
+        inside a :class:`repro.exec.Job` config or a report artifact.
+        """
+        return {
+            "seed": self.seed,
+            "hbm": {
+                "error_rate": self.hbm.error_rate,
+                "max_retries": self.hbm.max_retries,
+            },
+            "mmu": {
+                "stall_rate": self.mmu.stall_rate,
+                "stall_cycles": self.mmu.stall_cycles,
+            },
+            "requests": {
+                "drop_rate": self.requests.drop_rate,
+                "delay_rate": self.requests.delay_rate,
+                "delay_cycles": self.requests.delay_cycles,
+            },
+            "workers": {
+                "crashed": list(self.workers.crashed),
+                "stragglers": [
+                    [wid, factor] for wid, factor in self.workers.stragglers
+                ],
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (all validation in
+        the spec constructors re-runs)."""
+        workers = data.get("workers", {})
+        return cls(
+            seed=int(data.get("seed", 0)),
+            hbm=HBMFaultSpec(**data.get("hbm", {})),
+            mmu=MMUFaultSpec(**data.get("mmu", {})),
+            requests=RequestFaultSpec(**data.get("requests", {})),
+            workers=WorkerFaultSpec(
+                crashed=tuple(int(w) for w in workers.get("crashed", ())),
+                stragglers=tuple(
+                    (int(wid), float(factor))
+                    for wid, factor in workers.get("stragglers", ())
+                ),
+            ),
+        )
 
     def describe(self) -> str:
         """One-line human summary (chaos-table row label)."""

@@ -33,6 +33,8 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 __all__ = [
     "RunReport",
     "diff_reports",
+    "from_jsonable",
+    "jsonable",
     "report_from_simulation",
     "validate_report",
 ]
@@ -87,6 +89,14 @@ def _from_jsonable(value: Any) -> Any:
     if isinstance(value, list):
         return [_from_jsonable(v) for v in value]
     return value
+
+
+#: Public names for the canonical encode/decode pair. These define the
+#: repo-wide inf/nan/numpy policy; :mod:`repro.exec.canonical` builds
+#: every cache key and job result on top of them so artifacts and the
+#: execution engine can never disagree about what a float means.
+jsonable = _jsonable
+from_jsonable = _from_jsonable
 
 
 @dataclass

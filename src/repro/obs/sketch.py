@@ -187,6 +187,57 @@ class QuantileSketch:
     # Export
     # ------------------------------------------------------------------
 
+    def to_state(self) -> Dict[str, object]:
+        """Full, lossless, JSON-able dump of the sketch.
+
+        Unlike :meth:`to_dict` (a summary for artifacts), the state
+        carries every bucket, so ``from_state`` reconstructs a sketch
+        that answers every query identically. This is how parallel
+        workers ship their latency observations back to the parent
+        process for deterministic merging.
+        """
+        return {
+            "relative_accuracy": self.relative_accuracy,
+            "max_buckets": self.max_buckets,
+            "buckets": {
+                str(index): self._buckets[index]
+                for index in sorted(self._buckets)
+            },
+            "zero_count": self._zero_count,
+            "inf_count": self._inf_count,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "QuantileSketch":
+        """Inverse of :meth:`to_state`."""
+        sketch = cls(
+            relative_accuracy=float(state["relative_accuracy"]),  # type: ignore[arg-type]
+            max_buckets=int(state["max_buckets"]),  # type: ignore[arg-type]
+        )
+        sketch._buckets = {
+            int(index): int(count)
+            for index, count in state["buckets"].items()  # type: ignore[union-attr]
+        }
+        sketch._zero_count = int(state["zero_count"])  # type: ignore[arg-type]
+        sketch._inf_count = int(state["inf_count"])  # type: ignore[arg-type]
+        sketch._count = int(state["count"])  # type: ignore[arg-type]
+        sketch._sum = float(state["sum"])  # type: ignore[arg-type]
+        for bound in ("min", "max"):
+            value = state[bound]
+            setattr(
+                sketch, f"_{bound}",
+                None if value is None else float(value),  # type: ignore[arg-type]
+            )
+        return sketch
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Merge a :meth:`to_state` dump (worker → parent hand-off)."""
+        self.merge(QuantileSketch.from_state(state))
+
     def to_dict(self) -> Dict[str, float]:
         """Deterministic summary (embedded in run artifacts)."""
         out: Dict[str, float] = {"count": float(self._count)}

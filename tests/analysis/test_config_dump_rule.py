@@ -1,0 +1,78 @@
+"""EQX307: ad-hoc json.dumps of configs outside the canonicalizer."""
+
+from repro.analysis.codebase_linter import lint_source
+
+EVAL_PATH = "src/repro/eval/fig9.py"
+CANONICAL_PATH = "src/repro/exec/canonical.py"
+REPORT_PATH = "src/repro/obs/report.py"
+
+
+def _ids(diags):
+    return [d.rule_id for d in diags]
+
+
+class TestAdhocConfigDump:
+    DUMPING = (
+        "import json\n\n"
+        "def key(config):\n"
+        "    return json.dumps(config)\n"
+    )
+
+    def test_eqx307_on_config_dump(self):
+        diags = lint_source(self.DUMPING, path=EVAL_PATH)
+        assert "EQX307" in _ids(diags)
+        assert diags[-1].location.line == 4
+
+    def test_json_dump_variant_flagged(self):
+        source = (
+            "import json\n\n"
+            "def save(cfg, handle):\n"
+            "    json.dump(cfg, handle)\n"
+        )
+        assert "EQX307" in _ids(lint_source(source, path=EVAL_PATH))
+
+    def test_attribute_access_flagged(self):
+        source = (
+            "import json\n\n"
+            "def key(point):\n"
+            "    return json.dumps(point.config)\n"
+        )
+        assert "EQX307" in _ids(lint_source(source, path=EVAL_PATH))
+
+    def test_non_config_dump_is_fine(self):
+        source = (
+            "import json\n\n"
+            "def save(report):\n"
+            "    return json.dumps(report)\n"
+        )
+        assert "EQX307" not in _ids(lint_source(source, path=EVAL_PATH))
+
+    def test_canonicalizer_is_exempt(self):
+        assert "EQX307" not in _ids(
+            lint_source(self.DUMPING, path=CANONICAL_PATH)
+        )
+
+    def test_report_serializer_is_exempt(self):
+        assert "EQX307" not in _ids(
+            lint_source(self.DUMPING, path=REPORT_PATH)
+        )
+
+    def test_suppression(self):
+        source = (
+            "import json\n\n"
+            "def key(config):\n"
+            "    return json.dumps(config)  # eqx: ignore[EQX307]\n"
+        )
+        assert "EQX307" not in _ids(lint_source(source, path=EVAL_PATH))
+
+    def test_shipped_tree_is_clean(self):
+        """The real src/repro tree must carry no EQX307 diagnostics."""
+        from pathlib import Path
+
+        from repro.analysis.codebase_linter import lint_tree
+
+        import repro
+
+        root = Path(repro.__file__).parent
+        diags = [d for d in lint_tree(root) if d.rule_id == "EQX307"]
+        assert diags == []

@@ -1,0 +1,85 @@
+"""Vectorized feasibility scan and executor-fanned sweep parity.
+
+The explorer's `_max_m_grid` replaces a per-width scalar loop with one
+numpy pass, and `sweep(executor=...)` fans the n grid out as jobs; both
+must reproduce the historical output *exactly* — the Pareto frontier
+and Table 1 picks are downstream of every single point.
+"""
+
+import pytest
+
+from repro.dse.explorer import DesignSpaceExplorer
+from repro.dse.pareto import pareto_frontier
+from repro.exec import JobRunner
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return DesignSpaceExplorer(
+        "hbfp8", n_values=[1, 3, 8, 17, 32, 64, 128, 256],
+        frequencies_hz=[532e6, 610e6, 1000e6],
+    )
+
+
+class TestVectorizedFeasibility:
+    def test_grid_matches_scalar_everywhere(self, explorer):
+        """Every (n, f, w): the vector path lands on the scalar result,
+        bit for bit (same m, same binding envelope)."""
+        for n in explorer.n_values:
+            for f in explorer.frequencies_hz:
+                grid = explorer._max_m_grid(n, f)
+                scalar = [
+                    explorer._max_m(n, w, f) for w in explorer.w_values
+                ]
+                assert grid == scalar, f"divergence at n={n}, f={f:g}"
+
+    def test_bfloat16_grid_matches_scalar(self):
+        explorer = DesignSpaceExplorer(
+            "bfloat16", n_values=[2, 16, 96], frequencies_hz=[532e6, 1000e6]
+        )
+        for n in explorer.n_values:
+            for f in explorer.frequencies_hz:
+                assert explorer._max_m_grid(n, f) == [
+                    explorer._max_m(n, w, f) for w in explorer.w_values
+                ]
+
+    def test_evaluate_memo_returns_identical_points(self, explorer):
+        n, f = 32, 532e6
+        first = explorer.points_at(n, f)
+        second = explorer.points_at(n, f)
+        assert first == second
+        # Memoized: the very same objects come back.
+        assert all(a is b for a, b in zip(first, second))
+
+
+class TestExecutorSweep:
+    def test_fanned_sweep_identical_to_serial(self, explorer):
+        serial = explorer.sweep()
+        for chunk in (1, 3, 8):
+            fanned = explorer.sweep(executor=JobRunner(jobs=1), chunk=chunk)
+            assert fanned == serial, f"chunk={chunk} diverged"
+
+    def test_pareto_frontier_unchanged(self, explorer):
+        serial = pareto_frontier(explorer.sweep())
+        fanned = pareto_frontier(
+            explorer.sweep(executor=JobRunner(jobs=1), chunk=4)
+        )
+        assert serial == fanned
+
+    def test_non_default_tech_stays_serial(self):
+        """A custom technology model is not expressible as job config;
+        the sweep must fall back to the serial path, not crash."""
+        from repro.dse.tech import TSMC28
+        from dataclasses import replace
+
+        tweaked = replace(TSMC28, die_area_mm2=TSMC28.die_area_mm2 / 2)
+        explorer = DesignSpaceExplorer(
+            "hbfp8", tech=tweaked, n_values=[4, 8],
+            frequencies_hz=[532e6],
+        )
+        fanned = explorer.sweep(executor=JobRunner(jobs=1))
+        assert fanned == explorer.sweep()
+
+    def test_bad_chunk_rejected(self, explorer):
+        with pytest.raises(ValueError, match="chunk"):
+            explorer.sweep(executor=JobRunner(jobs=1), chunk=0)

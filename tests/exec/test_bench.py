@@ -1,0 +1,84 @@
+"""Bench harness: pinned suite, schema validation, artifact naming."""
+
+import json
+
+import pytest
+
+from repro.exec import bench
+
+
+@pytest.fixture(scope="module")
+def quick_doc():
+    """One cheap kernel, once — enough to exercise the whole pipeline."""
+    return bench.run_suite(repeats=1, kernels=["arith.hbfp_quantize"])
+
+
+class TestSuite:
+    def test_at_least_four_pinned_kernels(self):
+        assert len(bench.pinned_kernels()) >= 4
+
+    def test_document_shape(self, quick_doc):
+        assert quick_doc["schema"] == bench.BENCH_SCHEMA
+        record = quick_doc["kernels"]["arith.hbfp_quantize"]
+        assert record["repeats"] == 1
+        assert len(record["per_repeat_s"]) == 1
+        wall = record["wall_s"]
+        assert 0 < wall["min"] <= wall["mean"] <= wall["max"]
+
+    def test_work_proof_is_deterministic(self):
+        _, kernel = bench.pinned_kernels()["arith.hbfp_quantize"]
+        assert kernel() == kernel()
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError, match="unknown bench kernels"):
+            bench.run_suite(repeats=1, kernels=["no.such.kernel"])
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            bench.run_suite(repeats=0)
+
+
+class TestValidation:
+    def test_valid_document_passes(self, quick_doc):
+        assert bench.validate_bench(quick_doc) == []
+
+    def test_wrong_schema_fails(self, quick_doc):
+        doc = dict(quick_doc, schema="nope")
+        assert any("schema" in p for p in bench.validate_bench(doc))
+
+    def test_nonfinite_timing_fails(self, quick_doc):
+        doc = json.loads(json.dumps(quick_doc))
+        doc["kernels"]["arith.hbfp_quantize"]["wall_s"]["min"] = 0.0
+        assert bench.validate_bench(doc)
+
+    def test_unordered_stats_fail(self, quick_doc):
+        doc = json.loads(json.dumps(quick_doc))
+        wall = doc["kernels"]["arith.hbfp_quantize"]["wall_s"]
+        wall["min"] = wall["max"] * 2
+        assert any("out of order" in p for p in bench.validate_bench(doc))
+
+    def test_empty_kernels_fail(self, quick_doc):
+        doc = dict(quick_doc, kernels={})
+        assert bench.validate_bench(doc)
+
+
+class TestArtifact:
+    def test_default_path_uses_fingerprint(self, tmp_path):
+        from repro.exec.canonical import code_fingerprint
+
+        path = bench.default_bench_path(tmp_path)
+        assert path.endswith(f"BENCH_{code_fingerprint()[:12]}.json")
+
+    def test_write_and_reload(self, quick_doc, tmp_path):
+        path = bench.default_bench_path(tmp_path, rev="testrev")
+        bench.write_bench(quick_doc, path)
+        with open(path) as handle:
+            assert bench.validate_bench(json.load(handle)) == []
+
+    def test_refuses_invalid_document(self, tmp_path):
+        with pytest.raises(ValueError, match="refusing to write"):
+            bench.write_bench({"schema": "bad"}, str(tmp_path / "b.json"))
+
+    def test_render_mentions_every_kernel(self, quick_doc):
+        text = bench.render_suite(quick_doc)
+        assert "arith.hbfp_quantize" in text

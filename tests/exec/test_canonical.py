@@ -1,0 +1,153 @@
+"""Canonical serialization, digests and the code fingerprint."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.exec.canonical import (
+    canonical_json,
+    code_fingerprint,
+    config_digest,
+    decode,
+    encode,
+)
+
+
+class TestCanonicalJson:
+    def test_key_order_never_matters(self):
+        a = {"n": 8, "m": 4, "w": 2}
+        b = {"w": 2, "n": 8, "m": 4}
+        assert canonical_json(a) == canonical_json(b)
+        assert config_digest(a) == config_digest(b)
+
+    def test_compact_and_sorted(self):
+        text = canonical_json({"b": 1, "a": [1, 2]})
+        assert text == '{"a":[1,2],"b":1}'
+
+    def test_numpy_scalars_collapse(self):
+        value = {"n": np.int64(8), "f": np.float32(0.5)}
+        text = canonical_json(value)
+        parsed = json.loads(text)
+        assert parsed["n"] == 8
+        assert isinstance(parsed["n"], int)
+        assert parsed["f"] == 0.5
+
+    def test_nonfinite_policy_round_trips(self):
+        value = {"inf": math.inf, "ninf": -math.inf, "nan": math.nan}
+        restored = decode(encode(value))
+        assert restored["inf"] == math.inf
+        assert restored["ninf"] == -math.inf
+        assert restored["nan"] != restored["nan"]  # NaN
+
+    def test_tuples_normalize_to_lists(self):
+        assert decode(encode({"grid": (1, 2, 3)})) == {"grid": [1, 2, 3]}
+
+    def test_digest_is_sha256_hex(self):
+        digest = config_digest({"x": 1})
+        assert len(digest) == 64
+        assert int(digest, 16) >= 0
+
+    def test_digest_sensitivity(self):
+        base = config_digest({"x": 1})
+        assert config_digest({"x": 2}) != base
+        assert config_digest({"y": 1}) != base
+
+
+class TestCodeFingerprint:
+    def test_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_shape(self):
+        assert len(code_fingerprint()) == 64
+
+    def test_memo_reset_recomputes_identically(self, monkeypatch):
+        """The fingerprint is a pure function of the tree's *.py bytes:
+        dropping the process memo and rehashing gives the same value."""
+        import repro.exec.canonical as canonical
+
+        memoized = canonical.code_fingerprint()
+        monkeypatch.setattr(canonical, "_FINGERPRINT", None)
+        assert canonical.code_fingerprint() == memoized
+
+
+class TestJobIdentity:
+    def test_digest_varies_with_inputs(self):
+        from repro.exec.jobs import Job
+
+        base = Job("exec.probe", {"mode": "echo"}, seed=0, code_version="v1")
+        assert base == Job(
+            "exec.probe", {"mode": "echo"}, seed=0, code_version="v1"
+        )
+        assert base != Job(
+            "exec.probe", {"mode": "sleep"}, seed=0, code_version="v1"
+        )
+        assert base != Job(
+            "exec.probe", {"mode": "echo"}, seed=1, code_version="v1"
+        )
+        assert base != Job(
+            "exec.probe", {"mode": "echo"}, seed=0, code_version="v2"
+        )
+
+    def test_default_code_version_is_fingerprint(self):
+        from repro.exec.jobs import Job
+
+        job = Job("exec.probe", {})
+        assert job.resolved_code_version() == code_fingerprint()
+
+    def test_jobs_hash_into_sets(self):
+        from repro.exec.jobs import Job
+
+        a = Job("exec.probe", {"n": 1}, code_version="v")
+        b = Job("exec.probe", {"n": 1}, code_version="v")
+        assert len({a, b}) == 1
+
+
+class TestRegistry:
+    def test_known_ids_resolve(self):
+        from repro.exec.jobs import available_jobs, resolve_job
+
+        for fn_id in available_jobs():
+            assert callable(resolve_job(fn_id))
+
+    def test_unknown_id_raises(self):
+        from repro.exec.jobs import resolve_job
+
+        with pytest.raises(KeyError, match="unknown job id"):
+            resolve_job("no.such.job")
+
+    def test_rebinding_raises(self):
+        from repro.exec.jobs import register_job
+
+        register_job("test.reg", "repro.exec.tasks:exec_probe")
+        # Idempotent for the same target...
+        register_job("test.reg", "repro.exec.tasks:exec_probe")
+        # ...but a different target would alias cache keys.
+        with pytest.raises(ValueError, match="already registered"):
+            register_job("test.reg", "repro.exec.tasks:dse_points")
+
+    def test_bad_target_syntax_raises(self):
+        from repro.exec.jobs import register_job
+
+        with pytest.raises(ValueError, match="module:function"):
+            register_job("test.bad", "not-a-target")
+
+
+class TestRunJob:
+    def test_normalizes_result(self):
+        from repro.exec.jobs import run_job
+
+        result = run_job("exec.probe", {"payload": (1, 2)}, 0)
+        assert result["payload"] == [1, 2]
+
+    def test_non_jsonable_result_is_typeerror(self):
+        from repro.exec.jobs import register_job, run_job
+
+        register_job("test.opaque", "tests.exec.test_canonical:_opaque")
+        with pytest.raises(TypeError, match="non-JSON-able"):
+            run_job("test.opaque", {}, 0)
+
+
+def _opaque(config, seed):
+    return object()

@@ -1,0 +1,82 @@
+"""FaultPlan / AdmissionControl dict round-trips (job-config transport)."""
+
+import pytest
+
+from repro.faults.admission import AdmissionControl
+from repro.faults.plan import (
+    FaultPlan,
+    HBMFaultSpec,
+    MMUFaultSpec,
+    RequestFaultSpec,
+    WorkerFaultSpec,
+)
+
+
+def _full_plan():
+    return FaultPlan(
+        seed=11,
+        hbm=HBMFaultSpec(error_rate=0.05, max_retries=2),
+        mmu=MMUFaultSpec(stall_rate=0.1, stall_cycles=250.0),
+        requests=RequestFaultSpec(
+            drop_rate=0.02, delay_rate=0.1, delay_cycles=100.0
+        ),
+        workers=WorkerFaultSpec(crashed=(3,), stragglers=((1, 4.0),)),
+    )
+
+
+class TestFaultPlanRoundTrip:
+    def test_full_plan(self):
+        plan = _full_plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_empty_plan(self):
+        plan = FaultPlan(seed=5)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_survives_canonical_json(self):
+        from repro.exec.canonical import decode, encode
+
+        plan = _full_plan()
+        assert FaultPlan.from_dict(decode(encode(plan.to_dict()))) == plan
+
+    def test_tuples_restored(self):
+        restored = FaultPlan.from_dict(_full_plan().to_dict())
+        assert restored.workers.crashed == (3,)
+        assert restored.workers.stragglers == ((1, 4.0),)
+
+    def test_rng_streams_identical(self):
+        plan = _full_plan()
+        restored = FaultPlan.from_dict(plan.to_dict())
+        assert (
+            plan.rng("hbm", 0).random(8).tolist()
+            == restored.rng("hbm", 0).random(8).tolist()
+        )
+
+    def test_validation_reruns_on_load(self):
+        data = _full_plan().to_dict()
+        data["hbm"]["error_rate"] = 2.0
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict(data)
+
+
+class TestAdmissionControlRoundTrip:
+    def test_full_policy(self):
+        policy = AdmissionControl(
+            max_queue_requests=32,
+            deadline_cycles=1e6,
+            max_retries=2,
+            backoff_cycles=5e4,
+        )
+        assert AdmissionControl.from_dict(policy.to_dict()) == policy
+
+    def test_default_policy(self):
+        policy = AdmissionControl()
+        assert AdmissionControl.from_dict(policy.to_dict()) == policy
+
+    def test_validation_reruns_on_load(self):
+        data = AdmissionControl(
+            max_queue_requests=32, deadline_cycles=1e6
+        ).to_dict()
+        data["max_queue_requests"] = 0
+        with pytest.raises(ValueError):
+            AdmissionControl.from_dict(data)

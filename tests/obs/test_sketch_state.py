@@ -1,0 +1,60 @@
+"""QuantileSketch lossless state round-trip and state merging."""
+
+import numpy as np
+import pytest
+
+from repro.obs.sketch import QuantileSketch
+
+
+def _filled(seed=0, count=500):
+    rng = np.random.default_rng(seed)
+    sketch = QuantileSketch()
+    for value in rng.lognormal(3.0, 1.0, size=count):
+        sketch.observe(float(value))
+    sketch.observe(float("inf"))
+    return sketch
+
+
+class TestStateRoundTrip:
+    def test_round_trip_preserves_summary(self):
+        sketch = _filled()
+        clone = QuantileSketch.from_state(sketch.to_state())
+        assert clone.to_dict() == sketch.to_dict()
+
+    def test_round_trip_is_jsonable(self):
+        """State must survive the exec-engine canonical round trip —
+        that is how worker captures cross the process boundary."""
+        from repro.exec.canonical import decode, encode
+
+        sketch = _filled()
+        restored = QuantileSketch.from_state(decode(encode(sketch.to_state())))
+        assert restored.to_dict() == sketch.to_dict()
+
+    def test_empty_sketch_round_trips(self):
+        clone = QuantileSketch.from_state(QuantileSketch().to_state())
+        assert clone.count == 0
+
+
+class TestMergeState:
+    def test_merge_state_equals_merge(self):
+        a1, b1 = _filled(1), _filled(2)
+        a2, b2 = _filled(1), _filled(2)
+        a1.merge(b1)
+        a2.merge_state(b2.to_state())
+        assert a1.to_dict() == a2.to_dict()
+
+    def test_merged_equals_union_observation(self):
+        rng = np.random.default_rng(3)
+        values = rng.exponential(10.0, size=400)
+        whole = QuantileSketch()
+        left, right = QuantileSketch(), QuantileSketch()
+        for i, value in enumerate(values):
+            whole.observe(float(value))
+            (left if i % 2 == 0 else right).observe(float(value))
+        left.merge_state(right.to_state())
+        merged, direct = left.to_dict(), whole.to_dict()
+        assert merged["count"] == direct["count"]
+        for quantile in ("p50", "p99"):
+            assert merged[quantile] == pytest.approx(
+                direct[quantile], rel=0.02
+            )
