@@ -9,6 +9,7 @@
     python -m repro chaos --seed 7 --jobs auto --report-dir artifacts
     python -m repro sweep --jobs 8 --report-dir artifacts
     python -m repro bench --out-dir artifacts
+    python -m repro fig2 --kernel-backend reference
     python -m repro metrics smoke --out artifacts/smoke.json
     python -m repro metrics validate artifacts/smoke.json
 
@@ -193,6 +194,13 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
 
+    # --kernel-backend (on every subcommand that takes executor flags)
+    # pins the repro.kernels backend process-wide before any experiment
+    # code runs; backends are bit-identical, so artifacts cannot differ.
+    from repro.exec import cli as exec_cli
+
+    exec_cli.apply_kernel_backend(args)
+
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
             print(f"{name:8s} {EXPERIMENTS[name][1]}")
@@ -241,8 +249,6 @@ def main(argv=None) -> int:
     names = (
         sorted(EXPERIMENTS) if args.command == "all" else [args.command]
     )
-    from repro.exec import cli as exec_cli
-
     executor = exec_cli.runner_from_args(args)
     for name in names:
         _run_one(

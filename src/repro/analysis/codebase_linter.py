@@ -31,6 +31,13 @@ parsed module. Shipping rules:
   over *canonical* JSON; an ad-hoc dump (unsorted keys, raw numpy
   scalars, default inf/nan handling) hashes differently and silently
   defeats result caching — use ``canonical_json``/``config_digest``.
+* **EQX308 kernel-impl-import** — importing the
+  ``repro.kernels.ref_*`` / ``fast_*`` implementation modules outside
+  the kernels package (and its tests). The dispatch registry is the
+  only sanctioned entry point: a direct import pins one backend
+  forever, skipping ``set_backend``/``REPRO_KERNEL_BACKEND``, the
+  per-call ``backend=`` opt-out and the dispatch counters that run
+  artifacts embed.
 
 Suppression: append ``# eqx: ignore[EQX301]`` (or ``# eqx: ignore`` for
 all rules) to the offending line. Suppressions are deliberate
@@ -134,7 +141,9 @@ class DtypeLeakRule(LintRule):
     _TARGETS = ("np.float64", "numpy.float64")
 
     def applies_to(self, context: LintContext) -> bool:
-        return not context.in_package("arith")
+        # repro.kernels hosts the registered reference/fast pairs for
+        # the arith quantizers; their staging math is arith's, moved.
+        return not context.in_package("arith", "kernels")
 
     def check(self, tree: ast.Module, context: LintContext) -> List[Diagnostic]:
         diags: List[Diagnostic] = []
@@ -449,6 +458,59 @@ class AdhocConfigDumpRule(LintRule):
         return diags
 
 
+class KernelImplImportRule(LintRule):
+    """EQX308: ref_*/fast_* kernel modules imported around the registry."""
+
+    rule = rules.KERNEL_IMPL_IMPORT
+
+    _PACKAGE = "repro.kernels"
+    _IMPL_PREFIXES = ("ref_", "fast_")
+
+    def applies_to(self, context: LintContext) -> bool:
+        # The kernels package itself registers the pairs, and tests may
+        # reach implementations directly (e.g. to fuzz one backend).
+        if context.in_package("kernels", "tests"):
+            return False
+        return not context.module_path.startswith("tests/")
+
+    @classmethod
+    def _is_impl_module(cls, dotted: str) -> bool:
+        prefix = f"{cls._PACKAGE}."
+        if not dotted.startswith(prefix):
+            return False
+        leaf = dotted[len(prefix):].split(".", 1)[0]
+        return leaf.startswith(cls._IMPL_PREFIXES)
+
+    def check(self, tree: ast.Module, context: LintContext) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        for node in ast.walk(tree):
+            offenders: List[str] = []
+            if isinstance(node, ast.Import):
+                offenders = [
+                    alias.name for alias in node.names
+                    if self._is_impl_module(alias.name)
+                ]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if self._is_impl_module(node.module):
+                    offenders = [node.module]
+                elif node.module == self._PACKAGE:
+                    offenders = [
+                        f"{self._PACKAGE}.{alias.name}"
+                        for alias in node.names
+                        if alias.name.startswith(self._IMPL_PREFIXES)
+                    ]
+            for dotted in offenders:
+                diags.append(rules.diagnostic(
+                    self.rule,
+                    f"direct import of {dotted} bypasses the kernel "
+                    "dispatch registry (backend pin, per-call opt-out "
+                    "and dispatch counters stop applying) — use the "
+                    "public wrappers or repro.kernels.dispatch()",
+                    file=context.path, line=node.lineno,
+                ))
+        return diags
+
+
 #: The shipped rule set, in catalog order.
 DEFAULT_RULES: Tuple[LintRule, ...] = (
     DtypeLeakRule(),
@@ -458,6 +520,7 @@ DEFAULT_RULES: Tuple[LintRule, ...] = (
     UnboundedRetryRule(),
     DirectPercentileRule(),
     AdhocConfigDumpRule(),
+    KernelImplImportRule(),
 )
 
 

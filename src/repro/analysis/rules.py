@@ -146,6 +146,14 @@ ADHOC_CONFIG_DUMP = _register(Rule(
     "hashes differently and silently defeats result caching — use "
     "repro.exec.canonical_json / config_digest.",
 ))
+KERNEL_IMPL_IMPORT = _register(Rule(
+    "EQX308", "kernel-impl-import", Severity.ERROR,
+    "Importing repro.kernels.ref_* / fast_* implementation modules "
+    "outside the kernels package bypasses the dispatch registry: the "
+    "backend pin, the per-call opt-out and the dispatch counters all "
+    "stop applying — call the public wrappers (bfp_matmul, im2col, "
+    "SystolicArray.run...) or kernels.dispatch() instead.",
+))
 
 
 def catalog() -> List[Rule]:

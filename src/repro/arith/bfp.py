@@ -6,9 +6,17 @@ tile maximum's exponent). This is the storage format of Equinox's hbfp8
 datapath: 8-bit mantissas, a 12-bit exponent per tile, and tile-tile
 matrix multiplication performed as an integer GEMM plus an exponent add
 (paper §3.2).
+
+The numerical work lives in :mod:`repro.kernels` as reference/fast
+implementation pairs; the entry points here validate arguments and
+dispatch. Pass ``backend="reference"`` / ``backend="fast"`` to pin one
+call, or use :func:`repro.kernels.set_backend` for the ambient default
+(the two are bit-identical by contract, so this only changes speed).
 """
 
 from dataclasses import dataclass
+from functools import cached_property, lru_cache
+from typing import Tuple
 
 import numpy as np
 
@@ -37,24 +45,48 @@ class BFPFormat:
         if self.block_rows < 1 or self.block_cols < 1:
             raise ValueError("block dimensions must be positive")
 
-    @property
+    # Derived range constants, computed once per format instance
+    # (kernels read these per call; cached_property writes through the
+    # frozen dataclass's __dict__ on first access).
+
+    @cached_property
     def exponent_min(self) -> int:
         return -(2 ** (self.exponent_bits - 1))
 
-    @property
+    @cached_property
     def exponent_max(self) -> int:
         return 2 ** (self.exponent_bits - 1) - 1
 
-    @property
+    @cached_property
     def mantissa_min(self) -> int:
         return -(2 ** (self.mantissa_bits - 1))
 
-    @property
+    @cached_property
     def mantissa_max(self) -> int:
         return 2 ** (self.mantissa_bits - 1) - 1
 
 
 BFP8 = BFPFormat(mantissa_bits=8, exponent_bits=12)
+
+
+@lru_cache(maxsize=None)
+def saturation_bounds(accumulator_bits: int) -> Tuple[int, int]:
+    """(lo, hi) clamp range of a signed saturating accumulator."""
+    return -(2 ** (accumulator_bits - 1)), 2 ** (accumulator_bits - 1) - 1
+
+
+@lru_cache(maxsize=512)
+def pow2_table(lo: int, hi: int) -> np.ndarray:
+    """Read-only float64 table of ``2.0**k`` for ``k`` in [lo, hi].
+
+    ``np.ldexp(1.0, k)`` equals Python's ``2.0**k`` bit for bit across
+    the representable range (exact powers of two, subnormals included;
+    underflow gives 0.0 either way), so kernels can replace per-tile
+    scalar powers with one memoized table lookup.
+    """
+    table = np.ldexp(1.0, np.arange(lo, hi + 1, dtype=np.int32))
+    table.setflags(write=False)
+    return table
 
 
 def _ceil_div(a: int, b: int) -> int:
@@ -103,6 +135,7 @@ class BlockFloatTensor:
         fmt: BFPFormat = BFP8,
         rounding: str = "nearest",
         rng: "np.random.Generator | None" = None,
+        backend: "str | None" = None,
     ) -> "BlockFloatTensor":
         """Quantize a float array into BFP.
 
@@ -119,60 +152,32 @@ class BlockFloatTensor:
                 uses on the weight-update path so that sub-LSB updates
                 survive in expectation.
             rng: Randomness source for stochastic rounding (a default
-                generator is created when omitted).
+                generator is created when omitted). Both kernel
+                backends consume the stream identically.
+            backend: Kernel backend override for this call
+                (``"reference"`` / ``"fast"``; ``None`` = ambient).
         """
         x = np.asarray(values, dtype=np.float64)
         if x.ndim != 2:
             raise ValueError(f"BFP tensors are 2-D, got shape {x.shape}")
         if rounding not in ("nearest", "stochastic"):
             raise ValueError(f"unknown rounding mode {rounding!r}")
-        rows, cols = x.shape
-        br, bc = fmt.block_rows, fmt.block_cols
-        pad_rows = _ceil_div(rows, br) * br
-        pad_cols = _ceil_div(cols, bc) * bc
-        padded = np.zeros((pad_rows, pad_cols), dtype=np.float64)
-        padded[:rows, :cols] = x
+        from repro import kernels
 
-        # Shape into (tile_r, br, tile_c, bc) to reduce per tile.
-        tiles = padded.reshape(pad_rows // br, br, pad_cols // bc, bc)
-        max_abs = np.abs(tiles).max(axis=(1, 3))
-        with np.errstate(divide="ignore"):
-            exponents = np.where(
-                max_abs > 0, np.ceil(np.log2(max_abs)), fmt.exponent_min
-            ).astype(np.int64)
-        # A tile max that is an exact power of two maps to mantissa 1.0,
-        # which overflows the signed range; the clip below absorbs it as
-        # a one-LSB saturation.
-        exponents = np.clip(exponents, fmt.exponent_min, fmt.exponent_max)
-
-        scale = np.exp2(exponents - (fmt.mantissa_bits - 1)).astype(np.float64)
-        # All-zero tiles carry the minimum exponent, whose scale can
-        # underflow to 0.0; their mantissas are zero regardless, so use
-        # a unit scale to keep the division well-defined.
-        safe_scale = np.where(max_abs > 0, scale, 1.0)
-        scaled = tiles / safe_scale[:, None, :, None]
-        if rounding == "stochastic":
-            rng = rng or np.random.default_rng()
-            floor = np.floor(scaled)
-            frac = scaled - floor
-            mant = floor + (rng.random(scaled.shape) < frac)
-        else:
-            mant = np.round(scaled)
-        mant = np.clip(mant, fmt.mantissa_min, fmt.mantissa_max)
-        mantissas = mant.reshape(pad_rows, pad_cols).astype(np.int32)
-        return cls(fmt, mantissas, exponents.astype(np.int32), (rows, cols))
-
-    def to_float(self) -> np.ndarray:
-        """Decode back to float32 (logical shape, padding stripped)."""
-        br, bc = self.fmt.block_rows, self.fmt.block_cols
-        pad_rows, pad_cols = self.mantissas.shape
-        tiles = self.mantissas.reshape(pad_rows // br, br, pad_cols // bc, bc)
-        scale = np.exp2(
-            self.exponents.astype(np.float64) - (self.fmt.mantissa_bits - 1)
+        quantize = kernels.dispatch("bfp.quantize", backend)
+        mantissas, exponents, logical_shape = quantize(
+            x, fmt, rounding=rounding, rng=rng
         )
-        decoded = tiles * scale[:, None, :, None]
-        rows, cols = self._logical_shape
-        return decoded.reshape(pad_rows, pad_cols)[:rows, :cols].astype(np.float32)
+        return cls(fmt, mantissas, exponents, logical_shape)
+
+    def to_float(self, backend: "str | None" = None) -> np.ndarray:
+        """Decode back to float32 (logical shape, padding stripped)."""
+        from repro import kernels
+
+        dequantize = kernels.dispatch("bfp.dequantize", backend)
+        return dequantize(
+            self.mantissas, self.exponents, self.fmt, self._logical_shape
+        )
 
     def storage_bits(self) -> int:
         """Total storage footprint in bits (mantissas + shared exponents)."""
@@ -187,13 +192,20 @@ class BlockFloatTensor:
         return float(np.abs(self.to_float() - np.asarray(reference, np.float32)).max())
 
 
-def quantize_bfp(values: np.ndarray, fmt: BFPFormat = BFP8) -> np.ndarray:
+def quantize_bfp(
+    values: np.ndarray, fmt: BFPFormat = BFP8, backend: "str | None" = None
+) -> np.ndarray:
     """Round-trip a float array through BFP (quantize-dequantize)."""
-    return BlockFloatTensor.from_float(values, fmt).to_float()
+    return BlockFloatTensor.from_float(values, fmt, backend=backend).to_float(
+        backend=backend
+    )
 
 
 def bfp_matmul(
-    a: BlockFloatTensor, b: BlockFloatTensor, accumulator_bits: int = 25
+    a: BlockFloatTensor,
+    b: BlockFloatTensor,
+    accumulator_bits: int = 25,
+    backend: "str | None" = None,
 ) -> np.ndarray:
     """Multiply two BFP tensors the way Equinox's systolic arrays do.
 
@@ -212,34 +224,17 @@ def bfp_matmul(
         raise ValueError(f"shape mismatch {a.shape} @ {b.shape}")
     if a.fmt.block_cols != b.fmt.block_rows:
         raise ValueError("tile reduction dimensions must align")
-    mant_bits = a.fmt.mantissa_bits
-    frac = 2 * (mant_bits - 1)
-    sat_hi = 2 ** (accumulator_bits - 1) - 1
-    sat_lo = -(2 ** (accumulator_bits - 1))
+    from repro import kernels
 
-    br_a, k_blk = a.fmt.block_rows, a.fmt.block_cols
-    bc_b = b.fmt.block_cols
-    grid_m, grid_k = a.tile_grid
-    grid_k2, grid_n = b.tile_grid
-    if grid_k != grid_k2:
-        raise ValueError("tile grids do not align along K")
-
-    out = np.zeros((grid_m * br_a, grid_n * bc_b), dtype=np.float64)
-    a_m = a.mantissas.astype(np.int64)
-    b_m = b.mantissas.astype(np.int64)
-    for km in range(grid_k):
-        a_strip = a_m[:, km * k_blk : (km + 1) * k_blk]
-        b_strip = b_m[km * k_blk : (km + 1) * k_blk, :]
-        for im in range(grid_m):
-            a_tile = a_strip[im * br_a : (im + 1) * br_a]
-            prods = a_tile @ b_strip  # integer GEMM across all N tiles
-            for jn in range(grid_n):
-                tile = prods[:, jn * bc_b : (jn + 1) * bc_b]
-                tile = np.clip(tile, sat_lo, sat_hi)
-                exp = int(a.exponents[im, km]) + int(b.exponents[km, jn])
-                out[
-                    im * br_a : (im + 1) * br_a, jn * bc_b : (jn + 1) * bc_b
-                ] += tile * (2.0 ** (exp - frac))
-
-    rows, cols = a.shape[0], b.shape[1]
-    return out[:rows, :cols].astype(np.float32)
+    matmul = kernels.dispatch("bfp.matmul", backend)
+    return matmul(
+        a.mantissas,
+        a.exponents,
+        b.mantissas,
+        b.exponents,
+        a.fmt,
+        b.fmt,
+        a.shape[0],
+        b.shape[1],
+        accumulator_bits=accumulator_bits,
+    )

@@ -59,6 +59,7 @@ def gemm(
     b: np.ndarray,
     encoding: str = "fp32",
     hbfp_config: HBFPConfig = HBFP8,
+    backend: "str | None" = None,
 ) -> np.ndarray:
     """Compute ``a @ b`` under the named datapath encoding.
 
@@ -67,12 +68,14 @@ def gemm(
         b: Right operand, shape (K, N).
         encoding: One of ``fp32``, ``bfloat16``, ``fixed8``, ``hbfp8``.
         hbfp_config: Block format used when ``encoding == "hbfp8"``.
+        backend: Kernel backend override, honored by the ``hbfp8``
+            datapath (the other encodings have no kernel pairs).
 
     Returns:
         The float32 product as computed by that datapath.
     """
     if encoding == "hbfp8":
-        return hbfp_gemm(a, b, hbfp_config)
+        return hbfp_gemm(a, b, hbfp_config, backend=backend)
     try:
         fn = _GEMMS[encoding]
     except KeyError:

@@ -39,13 +39,17 @@ HBFP8 = HBFPConfig()
 
 
 def hbfp_gemm(
-    a: np.ndarray, b: np.ndarray, config: HBFPConfig = HBFP8
+    a: np.ndarray,
+    b: np.ndarray,
+    config: HBFPConfig = HBFP8,
+    backend: "str | None" = None,
 ) -> np.ndarray:
     """Compute ``a @ b`` through the HBFP datapath.
 
     Both operands are quantized to block floating point, multiplied with
     integer tile GEMMs, and the result is rounded to bfloat16 (the SIMD
-    hand-off) when the config asks for it.
+    hand-off) when the config asks for it. ``backend`` pins the kernel
+    backend for all three steps (``None`` = ambient).
     """
     a_fmt = config.bfp
     # The reduction dimension of ``b`` must match ``a``'s tile width.
@@ -55,9 +59,11 @@ def hbfp_gemm(
         block_rows=a_fmt.block_cols,
         block_cols=a_fmt.block_cols,
     )
-    a_bfp = BlockFloatTensor.from_float(a, a_fmt)
-    b_bfp = BlockFloatTensor.from_float(b, b_fmt)
-    out = bfp_matmul(a_bfp, b_bfp, accumulator_bits=config.accumulator_bits)
+    a_bfp = BlockFloatTensor.from_float(a, a_fmt, backend=backend)
+    b_bfp = BlockFloatTensor.from_float(b, b_fmt, backend=backend)
+    out = bfp_matmul(
+        a_bfp, b_bfp, accumulator_bits=config.accumulator_bits, backend=backend
+    )
     if config.simd_in_bfloat16:
         out = to_bfloat16(out)
     return out

@@ -19,6 +19,7 @@ import os
 import platform
 import sys
 import time
+from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.exec.canonical import code_fingerprint
@@ -108,9 +109,132 @@ def _kernel_hbfp_quantize() -> float:
     return hbfp_quantization_noise(values, HBFP8)
 
 
+# ----------------------------------------------------------------------
+# Kernel-pair benches (repro.kernels reference vs fast)
+#
+# Each registered kernel pair gets two pinned entries differing only in
+# the pinned backend, so every BENCH file records the reference/fast
+# speedup trajectory. Operands are built once per process (memoized)
+# and quantization happens outside the timed region — the entries time
+# the kernel itself. Work proofs are checksums of the outputs; the
+# bit-exactness contract makes the reference and fast proofs of a pair
+# identical, which is itself a visible invariant in the artifact.
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _bfp_matmul_operands():
+    import numpy as np
+
+    from repro.arith.bfp import BFP8, BlockFloatTensor
+
+    rng = np.random.default_rng(44)
+    a = BlockFloatTensor.from_float(rng.standard_normal((256, 512)), BFP8)
+    b = BlockFloatTensor.from_float(rng.standard_normal((512, 256)), BFP8)
+    return a, b
+
+
+def _kernel_pair_bfp_matmul(backend: str) -> float:
+    """Tile-lattice BFP matmul at a Figure-2-scale shape (256x512x256)."""
+    import numpy as np
+
+    from repro.arith.bfp import bfp_matmul
+
+    a, b = _bfp_matmul_operands()
+    out = bfp_matmul(a, b, backend=backend)
+    return float(np.abs(out).sum())
+
+
+@lru_cache(maxsize=None)
+def _quantize_operand():
+    import numpy as np
+
+    return np.random.default_rng(45).standard_normal((768, 768))
+
+
+def _kernel_pair_quantize(backend: str) -> float:
+    """Stochastic BFP quantization of a 768x768 tensor (seeded RNG)."""
+    import numpy as np
+
+    from repro.arith.bfp import BFP8, BlockFloatTensor
+
+    tensor = BlockFloatTensor.from_float(
+        _quantize_operand(),
+        BFP8,
+        rounding="stochastic",
+        rng=np.random.default_rng(46),
+        backend=backend,
+    )
+    return float(tensor.mantissas.sum()) + float(tensor.exponents.sum())
+
+
+@lru_cache(maxsize=None)
+def _systolic_setup():
+    import numpy as np
+
+    from repro.hw.systolic import SystolicArray
+
+    rng = np.random.default_rng(47)
+    n, w, rows = 8, 4, 32
+    array = SystolicArray(n, w, rng.standard_normal((n * w, n)))
+    x = rng.standard_normal((rows, n * w))
+    return array, x
+
+
+def _kernel_pair_systolic(backend: str) -> float:
+    """Weight-stationary systolic model, n=8 w=4, 32 activation rows."""
+    array, x = _systolic_setup()
+    outputs, last_cycle, completion = array.run(x, backend=backend)
+    return float(outputs.sum()) + float(last_cycle) + float(completion.sum())
+
+
+@lru_cache(maxsize=None)
+def _im2col_operand():
+    import numpy as np
+
+    return np.random.default_rng(48).standard_normal(
+        (8, 16, 32, 32)
+    ).astype(np.float32)
+
+
+def _kernel_pair_im2col(backend: str) -> float:
+    """im2col lowering of an 8x16x32x32 batch, 3x3 kernel, pad 1."""
+    from repro.hw.im2col import im2col
+
+    cols = im2col(_im2col_operand(), kernel=3, stride=1, padding=1,
+                  backend=backend)
+    return float(abs(cols).sum())
+
+
+def _pair_entries() -> Dict[str, Tuple[str, Callable[[], float]]]:
+    pairs: Dict[str, Tuple[str, Callable[[str], float]]] = {
+        "kernels.bfp_matmul": (
+            "BFP tile matmul 256x512x256 (fig2 scale)",
+            _kernel_pair_bfp_matmul,
+        ),
+        "kernels.quantize": (
+            "BFP stochastic quantize 768x768", _kernel_pair_quantize,
+        ),
+        "kernels.systolic": (
+            "systolic model n=8 w=4 rows=32", _kernel_pair_systolic,
+        ),
+        "kernels.im2col": (
+            "im2col 8x16x32x32 k3 p1", _kernel_pair_im2col,
+        ),
+    }
+    entries: Dict[str, Tuple[str, Callable[[], float]]] = {}
+    for base, (description, fn) in pairs.items():
+        for backend in ("reference", "fast"):
+            entries[f"{base}.{backend}"] = (
+                f"{description} [{backend}]",
+                (lambda fn=fn, backend=backend: fn(backend)),
+            )
+    return entries
+
+
 def pinned_kernels() -> Dict[str, Tuple[str, Callable[[], float]]]:
     """``name -> (description, zero-arg kernel)`` in canonical order."""
-    return {
+    suite = {
         "dse.sweep": (
             "design-space sweep, n 1..96, full f/w grid", _kernel_dse_sweep,
         ),
@@ -127,6 +251,8 @@ def pinned_kernels() -> Dict[str, Tuple[str, Callable[[], float]]]:
             "BFP round trip 512x512", _kernel_hbfp_quantize,
         ),
     }
+    suite.update(_pair_entries())
+    return suite
 
 
 # ----------------------------------------------------------------------
@@ -169,7 +295,7 @@ def run_suite(
             "per_repeat_s": samples,
             "work": work,
         }
-    return {
+    document = {
         "schema": BENCH_SCHEMA,
         "code_version": code_fingerprint(),
         "python": platform.python_version(),
@@ -178,6 +304,30 @@ def run_suite(
         "created_unix": int(time.time()),
         "kernels": timed,
     }
+    speedups = _speedups(timed)
+    if speedups:
+        document["speedups"] = speedups
+    return document
+
+
+def _speedups(timed: Dict[str, Any]) -> Dict[str, Any]:
+    """Per-pair reference/fast ratios (best-of-repeats, noise-robust)."""
+    out: Dict[str, Any] = {}
+    for name in timed:
+        if not name.endswith(".reference"):
+            continue
+        base = name[: -len(".reference")]
+        fast_name = base + ".fast"
+        if fast_name not in timed:
+            continue
+        reference_s = timed[name]["wall_s"]["min"]
+        fast_s = timed[fast_name]["wall_s"]["min"]
+        out[base] = {
+            "reference_s": reference_s,
+            "fast_s": fast_s,
+            "speedup": reference_s / fast_s,
+        }
+    return out
 
 
 def validate_bench(data: Any) -> List[str]:
@@ -217,6 +367,28 @@ def validate_bench(data: Any) -> List[str]:
         repeats = record.get("repeats")
         if not isinstance(repeats, int) or repeats < 1:
             problems.append(f"kernels.{name}.repeats must be a positive int")
+    speedups = data.get("speedups")
+    if speedups is not None:  # optional section, additive to schema v1
+        if not isinstance(speedups, dict):
+            problems.append("speedups must be an object when present")
+        else:
+            for name, record in speedups.items():
+                if not isinstance(record, dict):
+                    problems.append(f"speedups.{name} must be an object")
+                    continue
+                values = [
+                    record.get(k) for k in ("reference_s", "fast_s", "speedup")
+                ]
+                if not all(
+                    isinstance(v, (int, float))
+                    and v == v
+                    and 0 < v < float("inf")
+                    for v in values
+                ):
+                    problems.append(
+                        f"speedups.{name} needs finite positive "
+                        "reference_s/fast_s/speedup"
+                    )
     return problems
 
 
@@ -253,15 +425,29 @@ def render_suite(document: Dict[str, Any]) -> str:
         f"(python {document['python']}, {document['cpu_count']} cpus, "
         f"repeats={next(iter(document['kernels'].values()))['repeats']})",
         "",
-        f"{'kernel':<22} {'min (ms)':>10} {'mean (ms)':>10} "
+        f"{'kernel':<28} {'min (ms)':>10} {'mean (ms)':>10} "
         f"{'max (ms)':>10} {'work':>14}",
     ]
     lines.append("-" * len(lines[-1]))
     for name, record in document["kernels"].items():
         wall = record["wall_s"]
         lines.append(
-            f"{name:<22} {wall['min'] * 1e3:>10.2f} "
+            f"{name:<28} {wall['min'] * 1e3:>10.2f} "
             f"{wall['mean'] * 1e3:>10.2f} {wall['max'] * 1e3:>10.2f} "
             f"{record['work']:>14.4g}"
         )
+    speedups = document.get("speedups")
+    if speedups:
+        lines.append("")
+        lines.append(
+            f"{'kernel pair':<28} {'ref (ms)':>10} {'fast (ms)':>10} "
+            f"{'speedup':>10}"
+        )
+        lines.append("-" * len(lines[-1]))
+        for name, record in speedups.items():
+            lines.append(
+                f"{name:<28} {record['reference_s'] * 1e3:>10.2f} "
+                f"{record['fast_s'] * 1e3:>10.2f} "
+                f"{record['speedup']:>9.1f}x"
+            )
     return "\n".join(lines)

@@ -23,6 +23,7 @@ __all__ = [
     "add_bench_arguments",
     "add_executor_arguments",
     "add_sweep_arguments",
+    "apply_kernel_backend",
     "run_bench",
     "run_sweep",
     "runner_from_args",
@@ -45,6 +46,27 @@ def add_executor_arguments(parser: argparse.ArgumentParser) -> None:
         help="content-addressed result cache: identical (config, seed, "
         "code) jobs are replayed from disk instead of recomputed",
     )
+    parser.add_argument(
+        "--kernel-backend", choices=("reference", "fast"), default=None,
+        help="pin the repro.kernels backend (default: fast, or "
+        "REPRO_KERNEL_BACKEND); backends are bit-identical by contract, "
+        "so this changes speed, never results",
+    )
+
+
+def apply_kernel_backend(args: argparse.Namespace) -> None:
+    """Make ``--kernel-backend`` the ambient backend for this process.
+
+    Worker processes spawned by the executor inherit it through the
+    job payload's environment, not this call — the engine re-imports
+    repro there — so experiments that must pin workers too should pass
+    ``kernel_backend=`` through their entry points instead.
+    """
+    backend = getattr(args, "kernel_backend", None)
+    if backend is not None:
+        from repro import kernels
+
+        kernels.set_backend(backend)
 
 
 def runner_from_args(args: argparse.Namespace) -> Optional[JobRunner]:
@@ -192,6 +214,11 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         "--validate-only", default=None, metavar="PATH",
         help="validate an existing BENCH file instead of running",
     )
+    parser.add_argument(
+        "--kernel-backend", choices=("reference", "fast"), default=None,
+        help="ambient repro.kernels backend while benching (the "
+        "kernels.* pair entries pin their own backend regardless)",
+    )
 
 
 def run_bench(args: argparse.Namespace) -> int:
@@ -209,10 +236,20 @@ def run_bench(args: argparse.Namespace) -> int:
         )
         return 1 if problems else 0
 
+    apply_kernel_backend(args)
     repeats = args.repeats if args.repeats is not None else bench.DEFAULT_REPEATS
     document = bench.run_suite(repeats=repeats, kernels=args.kernels)
     print(bench.render_suite(document))
     path = bench.default_bench_path(args.out_dir, rev=args.rev)
     bench.write_bench(document, path)
     print(f"\n[bench] {path}")
+    from repro.obs.profile import kernel_dispatch_summary
+
+    dispatches = kernel_dispatch_summary()
+    if dispatches:
+        summary = ", ".join(
+            f"{key.removeprefix('kernels.dispatch.')}={int(count)}"
+            for key, count in dispatches.items()
+        )
+        print(f"[kernels] {summary}", file=sys.stderr)
     return 0

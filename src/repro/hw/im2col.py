@@ -60,7 +60,11 @@ def lowered_conv_gemm(shape: ConvShape, batch: int = 1) -> Tuple[int, int, int]:
 
 
 def im2col(
-    images: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+    images: np.ndarray,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+    backend: "str | None" = None,
 ) -> np.ndarray:
     """Functional im2col for NCHW input.
 
@@ -69,6 +73,8 @@ def im2col(
         kernel: Square kernel size.
         stride: Convolution stride.
         padding: Zero padding on each spatial edge.
+        backend: Kernel backend override for this call
+            (``"reference"`` / ``"fast"``; ``None`` = ambient).
 
     Returns:
         Matrix of shape (batch × out_h × out_w, kernel² × channels),
@@ -77,25 +83,15 @@ def im2col(
     x = np.asarray(images, dtype=np.float32)
     if x.ndim != 4:
         raise ValueError(f"expected NCHW input, got shape {x.shape}")
-    b, c, h, w = x.shape
-    if padding:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    _, _, h, w = x.shape
     out_h = (h + 2 * padding - kernel) // stride + 1
     out_w = (w + 2 * padding - kernel) // stride + 1
     if out_h < 1 or out_w < 1:
         raise ValueError("kernel does not fit in the padded input")
+    from repro import kernels
 
-    cols = np.empty((b, out_h, out_w, c, kernel, kernel), dtype=np.float32)
-    for ky in range(kernel):
-        for kx in range(kernel):
-            patch = x[
-                :,
-                :,
-                ky : ky + stride * out_h : stride,
-                kx : kx + stride * out_w : stride,
-            ]
-            cols[:, :, :, :, ky, kx] = patch.transpose(0, 2, 3, 1)
-    return cols.reshape(b * out_h * out_w, c * kernel * kernel)
+    pack = kernels.dispatch("im2col.pack", backend)
+    return pack(x, kernel, stride, padding)
 
 
 class Im2ColUnit:

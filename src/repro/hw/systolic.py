@@ -21,10 +21,12 @@ Microarchitecture (one of Equinox's ``m`` arrays):
 Total latency for R rows: the last output leaves on cycle
 ``R + (n - 1) + n + n·w``, i.e. an occupancy of R cycles plus a drain of
 ``n·w + 2n - 1``, which the event model rounds up to ``n·w + 2n``.
-"""
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+Two implementations live in :mod:`repro.kernels`: the per-cycle
+register loop (``reference``, the oracle) and a wavefront-vectorized
+model (``fast``) that is bit-identical in both numeric outputs and
+cycle counts. :meth:`SystolicArray.run` dispatches between them.
+"""
 
 import numpy as np
 
@@ -38,14 +40,6 @@ def systolic_latency_cycles(rows: int, n: int, w: int) -> int:
     if rows < 1:
         raise ValueError("need at least one activation row")
     return rows + (n - 1) + n + n * w
-
-
-@dataclass
-class _PartialSum:
-    """A value in flight down one column's reduction pipeline."""
-
-    row: int
-    value: float
 
 
 class SystolicArray:
@@ -66,12 +60,20 @@ class SystolicArray:
         self.w = w
         self.weights = weights
 
-    def run(self, activations: np.ndarray) -> Tuple[np.ndarray, int, np.ndarray]:
+    def run(
+        self, activations: np.ndarray, backend: "str | None" = None
+    ) -> "tuple[np.ndarray, int, np.ndarray]":
         """Stream ``activations`` (R × n·w) through the array.
+
+        Args:
+            activations: Activation rows, shape (R, n·w).
+            backend: Kernel backend override for this call
+                (``"reference"`` / ``"fast"``; ``None`` = ambient).
 
         Returns:
             outputs: The (R × n) product, numerically equal to
-                ``activations @ weights`` up to float64 associativity.
+                ``activations @ weights`` up to float64 associativity
+                (the PEs accumulate in lane/stage order).
             last_cycle: Cycle on which the final output left the FIFO.
             completion: (R × n) array of per-output completion cycles.
         """
@@ -80,68 +82,7 @@ class SystolicArray:
             raise ValueError(
                 f"activations must be (R>=1, {self.n * self.w}); got {x.shape}"
             )
-        rows = x.shape[0]
-        n, w = self.n, self.w
-        outputs = np.zeros((rows, n))
-        completion = np.full((rows, n), -1, dtype=np.int64)
+        from repro import kernels
 
-        # Per-column state: a one-cycle horizontal handoff register, the
-        # n-stage vertical reduction pipeline, and the output FIFO.
-        handoff: List[Optional[int]] = [None] * n  # row id moving j -> j+1
-        reduce_pipe: List[List[Optional[_PartialSum]]] = [
-            [None] * n for _ in range(n)
-        ]
-        out_fifo: List[List[Optional[_PartialSum]]] = [
-            [None] * (n * w) for _ in range(n)
-        ]
-
-        cycle = 0
-        done = 0
-        total = rows * n
-        budget = systolic_latency_cycles(rows, n, w) + 4
-        while done < total:
-            cycle += 1
-            if cycle > budget:
-                raise RuntimeError(
-                    "systolic model failed to drain within its latency bound"
-                )
-            entering = cycle - 1 if cycle - 1 < rows else None
-
-            # Descending column order: column j reads the handoff its
-            # left neighbour wrote on the *previous* cycle.
-            new_handoff: List[Optional[int]] = [None] * n
-            for j in range(n - 1, -1, -1):
-                # 1. Output FIFO shifts one slot; the oldest pops out.
-                popped = out_fifo[j].pop()
-                if popped is not None:
-                    outputs[popped.row, j] = popped.value
-                    completion[popped.row, j] = cycle
-                    done += 1
-
-                # 2. The reduction pipe's bottom value enters the FIFO.
-                out_fifo[j].insert(0, reduce_pipe[j][-1])
-
-                # 3. Reduction stages shift down, each adding its MACs.
-                for stage in range(n - 1, 0, -1):
-                    prev = reduce_pipe[j][stage - 1]
-                    if prev is not None:
-                        chunk = x[prev.row, stage * w : (stage + 1) * w]
-                        wslice = self.weights[stage * w : (stage + 1) * w, j]
-                        prev = _PartialSum(prev.row, prev.value + float(chunk @ wslice))
-                    reduce_pipe[j][stage] = prev
-
-                # 4. A row arriving at this column enters stage 0 and is
-                #    handed to the right neighbour for the next cycle.
-                arriving = entering if j == 0 else handoff[j - 1]
-                if arriving is not None:
-                    chunk = x[arriving, 0:w]
-                    reduce_pipe[j][0] = _PartialSum(
-                        arriving, float(chunk @ self.weights[0:w, j])
-                    )
-                    if j < n - 1:
-                        new_handoff[j] = arriving
-                else:
-                    reduce_pipe[j][0] = None
-            handoff = new_handoff
-
-        return outputs, cycle, completion
+        run = kernels.dispatch("systolic.run", backend)
+        return run(x, self.weights, self.n, self.w)

@@ -1,0 +1,96 @@
+"""repro.kernels: dual-backend numerical kernels with bit-exact parity.
+
+Every hot primitive in the reproduction exists twice:
+
+* ``reference`` — the readable tile-loop / per-cycle code that defines
+  the semantics (the former inline implementations, kept verbatim as
+  the oracle);
+* ``fast`` — a vectorized rewrite that must match the reference **bit
+  for bit**: values, shared exponents, RNG stream position, and
+  systolic cycle counts (:mod:`repro.kernels.parity` is the executable
+  contract).
+
+Call sites never import implementations directly (lint rule EQX308);
+they resolve through :func:`dispatch`, so the backend can be switched
+globally (:func:`set_backend`, ``REPRO_KERNEL_BACKEND``), per scope
+(:func:`use_backend`), or per call (the ``backend=`` argument threaded
+through ``BlockFloatTensor.from_float``, ``bfp_matmul``,
+``SystolicArray.run``, ``im2col``). The default is ``fast``.
+
+Registered pairs:
+
+========================  ============================================
+``bfp.quantize``          ``BlockFloatTensor.from_float`` body
+``bfp.dequantize``        ``BlockFloatTensor.to_float`` body
+``bfp.matmul``            ``bfp_matmul`` tile-lattice GEMM
+``systolic.run``          ``SystolicArray.run`` register model
+``im2col.pack``           ``im2col`` convolution lowering
+========================  ============================================
+"""
+
+from repro.kernels import (
+    fast_bfp,
+    fast_im2col,
+    fast_systolic,
+    ref_bfp,
+    ref_im2col,
+    ref_systolic,
+)
+from repro.kernels.registry import (
+    BACKENDS,
+    KernelPair,
+    dispatch,
+    dispatch_counts,
+    get_backend,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+    reset_dispatch_counts,
+    set_backend,
+    use_backend,
+)
+
+__all__ = [
+    "BACKENDS",
+    "KernelPair",
+    "dispatch",
+    "dispatch_counts",
+    "get_backend",
+    "get_kernel",
+    "kernel_names",
+    "register_kernel",
+    "reset_dispatch_counts",
+    "set_backend",
+    "use_backend",
+]
+
+register_kernel(
+    "bfp.quantize",
+    ref_bfp.quantize,
+    fast_bfp.quantize,
+    doc="Block-floating-point encode (per-tile exponent + mantissas).",
+)
+register_kernel(
+    "bfp.dequantize",
+    ref_bfp.dequantize,
+    fast_bfp.dequantize,
+    doc="Block-floating-point decode back to float32.",
+)
+register_kernel(
+    "bfp.matmul",
+    ref_bfp.matmul,
+    fast_bfp.matmul,
+    doc="Tile-lattice integer GEMM with saturating accumulators.",
+)
+register_kernel(
+    "systolic.run",
+    ref_systolic.run,
+    fast_systolic.run,
+    doc="Weight-stationary systolic array (values + cycle counts).",
+)
+register_kernel(
+    "im2col.pack",
+    ref_im2col.pack,
+    fast_im2col.pack,
+    doc="Convolution lowering to a GEMM activation matrix.",
+)

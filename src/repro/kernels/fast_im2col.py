@@ -1,0 +1,41 @@
+"""Fast im2col kernel — stride tricks, bit-identical to the oracle.
+
+Builds the six-dimensional patch view ``(b, c, out_y, out_x, ky, kx)``
+as a zero-copy ``as_strided`` window over the (padded) input, then lets
+one transpose+reshape perform the single gather copy. im2col is pure
+data movement, so bit-exactness is just "same elements, same places";
+the reference's kernel² Python loop becomes one vectorized copy.
+
+Do not import this module outside ``repro.kernels`` and tests — call
+sites go through :func:`repro.kernels.dispatch` (lint rule EQX308).
+"""
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+__all__ = ["pack"]
+
+
+def pack(
+    x: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Vectorized equivalent of ``ref_im2col.pack`` (same returns)."""
+    b, c, h, w = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    elif not x.flags.c_contiguous:
+        x = np.ascontiguousarray(x)
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+
+    sb, sc, sh, sw = x.strides
+    windows = as_strided(
+        x,
+        shape=(b, c, out_h, out_w, kernel, kernel),
+        strides=(sb, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # (b, out_y, out_x, c, ky, kx) row-major, flattened — the reshape of
+    # the non-contiguous view is the one gather copy.
+    cols = windows.transpose(0, 2, 3, 1, 4, 5)
+    return cols.reshape(b * out_h * out_w, c * kernel * kernel)

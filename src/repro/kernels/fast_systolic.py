@@ -1,0 +1,58 @@
+"""Wavefront-vectorized systolic kernel — bit-identical to the oracle.
+
+The per-cycle register model (:mod:`repro.kernels.ref_systolic`) is
+data-oblivious: which PE touches which value on which cycle depends
+only on (R, n, w), never on the data. That licenses two collapses:
+
+* **Values.** Every output element is the n-stage adder chain
+  ``(((mac_0 + mac_1) + mac_2) + ...)`` where ``mac_s`` is itself a
+  left-to-right w-lane chain. Computing all R×n×n stage partials with
+  one vectorized multiply-accumulate per lane index ``t`` (a ``+=`` per
+  ``t`` is a single ufunc add, so per-element accumulation order is the
+  loop order), then folding stages in ascending order, reproduces the
+  oracle's float64 additions in exactly the same per-element sequence —
+  bit for bit. (A plain ``x @ weights`` or ``np.add.reduce`` would not:
+  BLAS kernel choice and numpy's pairwise summation both reorder.)
+* **Cycles.** Row r reaches column j at cycle ``r + 1 + j`` (one entry
+  per cycle, one-cycle horizontal skew per column), descends n
+  reduction stages, and crosses the n·w-deep exponent-sync FIFO, so
+  ``completion[r, j] = r + 1 + j + n + n·w`` in closed form, and the
+  last output leaves on ``R + (n-1) + n + n·w`` — the documented
+  ``systolic_latency_cycles`` formula.
+
+Do not import this module outside ``repro.kernels`` and tests — call
+sites go through :func:`repro.kernels.dispatch` (lint rule EQX308).
+"""
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["run"]
+
+
+def run(
+    x: np.ndarray, weights: np.ndarray, n: int, w: int
+) -> Tuple[np.ndarray, int, np.ndarray]:
+    """Vectorized equivalent of ``ref_systolic.run`` (same returns)."""
+    rows = x.shape[0]
+    xr = np.ascontiguousarray(x).reshape(rows, n, w)
+    wr = np.ascontiguousarray(weights).reshape(n, w, n)
+
+    # partial[r, s, j] = PE (s, j)'s ordered w-lane MAC for row r.
+    partial = np.zeros((rows, n, n), dtype=np.float64)
+    for t in range(w):
+        partial += xr[:, :, t, None] * wr[None, :, t, :]
+
+    # Fold the reduction pipeline in ascending stage order.
+    outputs = partial[:, 0, :].copy()
+    for s in range(1, n):
+        outputs += partial[:, s, :]
+
+    completion = (
+        np.arange(rows, dtype=np.int64)[:, None]
+        + np.arange(n, dtype=np.int64)[None, :]
+        + (1 + n + n * w)
+    )
+    last_cycle = rows + (n - 1) + n + n * w
+    return outputs, last_cycle, completion

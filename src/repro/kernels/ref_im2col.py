@@ -1,0 +1,40 @@
+"""Reference im2col kernel — the per-kernel-offset loop oracle.
+
+The original implementation from :mod:`repro.hw.im2col`, moved here
+when the kernel-dispatch layer was introduced: one strided slice per
+(ky, kx) kernel offset, gathered into the lowered activation matrix.
+Pure data movement — the fast backend (stride tricks, one copy) must
+produce an identical float32 matrix.
+
+Do not import this module outside ``repro.kernels`` and tests — call
+sites go through :func:`repro.kernels.dispatch` (lint rule EQX308).
+"""
+
+import numpy as np
+
+__all__ = ["pack"]
+
+
+def pack(
+    x: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Lower NCHW ``x`` (float32, validated by the wrapper) to a GEMM
+    activation matrix of shape (batch × out_h × out_w, kernel² ×
+    channels), row-major over (batch, out_y, out_x)."""
+    b, c, h, w = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+
+    cols = np.empty((b, out_h, out_w, c, kernel, kernel), dtype=np.float32)
+    for ky in range(kernel):
+        for kx in range(kernel):
+            patch = x[
+                :,
+                :,
+                ky : ky + stride * out_h : stride,
+                kx : kx + stride * out_w : stride,
+            ]
+            cols[:, :, :, :, ky, kx] = patch.transpose(0, 2, 3, 1)
+    return cols.reshape(b * out_h * out_w, c * kernel * kernel)

@@ -1,0 +1,116 @@
+"""Reference systolic-array kernel — the register-level oracle.
+
+The per-cycle weight-stationary model from :mod:`repro.hw.systolic`,
+moved here when the kernel-dispatch layer was introduced. One change
+was made relative to the original loop: each PE's w-wide MAC is an
+explicitly ordered left-to-right accumulation (`_mac` below) instead of
+``float(chunk @ wslice)``. A BLAS-backed dot picks its kernel by shape
+and stride, so its bit pattern is platform-dependent — an oracle built
+on it would make the fast backend's bit-exactness contract ill-posed.
+The ordered MAC pins the semantics: products accumulate in ascending
+lane order within a PE, and partial sums accumulate in ascending stage
+order down a column, exactly like the RTL's adder chain. (Numerically
+this moved existing results by at most a few ulps; timing is
+unchanged.)
+
+Do not import this module outside ``repro.kernels`` and tests — call
+sites go through :func:`repro.kernels.dispatch` (lint rule EQX308).
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["run"]
+
+
+@dataclass
+class _PartialSum:
+    """A value in flight down one column's reduction pipeline."""
+
+    row: int
+    value: float
+
+
+def _mac(chunk: np.ndarray, wslice: np.ndarray) -> float:
+    """Left-to-right ordered dot product — one PE's w-lane adder chain."""
+    acc = 0.0
+    for t in range(chunk.shape[0]):
+        acc += float(chunk[t]) * float(wslice[t])
+    return acc
+
+
+def run(
+    x: np.ndarray, weights: np.ndarray, n: int, w: int
+) -> Tuple[np.ndarray, int, np.ndarray]:
+    """Stream ``x`` (R × n·w) through the array, cycle by cycle.
+
+    Returns ``(outputs (R × n), last_cycle, completion (R × n) int64)``.
+    Argument validation happens in :meth:`SystolicArray.run`.
+    """
+    rows = x.shape[0]
+    outputs = np.zeros((rows, n))
+    completion = np.full((rows, n), -1, dtype=np.int64)
+
+    # Per-column state: a one-cycle horizontal handoff register, the
+    # n-stage vertical reduction pipeline, and the output FIFO.
+    handoff: List[Optional[int]] = [None] * n  # row id moving j -> j+1
+    reduce_pipe: List[List[Optional[_PartialSum]]] = [
+        [None] * n for _ in range(n)
+    ]
+    out_fifo: List[List[Optional[_PartialSum]]] = [
+        [None] * (n * w) for _ in range(n)
+    ]
+
+    cycle = 0
+    done = 0
+    total = rows * n
+    budget = rows + (n - 1) + n + n * w + 4
+    while done < total:
+        cycle += 1
+        if cycle > budget:
+            raise RuntimeError(
+                "systolic model failed to drain within its latency bound"
+            )
+        entering = cycle - 1 if cycle - 1 < rows else None
+
+        # Descending column order: column j reads the handoff its
+        # left neighbour wrote on the *previous* cycle.
+        new_handoff: List[Optional[int]] = [None] * n
+        for j in range(n - 1, -1, -1):
+            # 1. Output FIFO shifts one slot; the oldest pops out.
+            popped = out_fifo[j].pop()
+            if popped is not None:
+                outputs[popped.row, j] = popped.value
+                completion[popped.row, j] = cycle
+                done += 1
+
+            # 2. The reduction pipe's bottom value enters the FIFO.
+            out_fifo[j].insert(0, reduce_pipe[j][-1])
+
+            # 3. Reduction stages shift down, each adding its MACs.
+            for stage in range(n - 1, 0, -1):
+                prev = reduce_pipe[j][stage - 1]
+                if prev is not None:
+                    chunk = x[prev.row, stage * w : (stage + 1) * w]
+                    wslice = weights[stage * w : (stage + 1) * w, j]
+                    prev = _PartialSum(
+                        prev.row, prev.value + _mac(chunk, wslice)
+                    )
+                reduce_pipe[j][stage] = prev
+
+            # 4. A row arriving at this column enters stage 0 and is
+            #    handed to the right neighbour for the next cycle.
+            arriving = entering if j == 0 else handoff[j - 1]
+            if arriving is not None:
+                reduce_pipe[j][0] = _PartialSum(
+                    arriving, _mac(x[arriving, 0:w], weights[0:w, j])
+                )
+                if j < n - 1:
+                    new_handoff[j] = arriving
+            else:
+                reduce_pipe[j][0] = None
+        handoff = new_handoff
+
+    return outputs, cycle, completion

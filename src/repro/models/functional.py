@@ -91,15 +91,25 @@ class FunctionalLSTMCell:
         new_h = _simd(o * np.tanh(c), self.encoding)
         return LSTMState(h=new_h, c=c)
 
-    def run(self, initial_h: np.ndarray, steps: int) -> np.ndarray:
+    def run(
+        self,
+        initial_h: np.ndarray,
+        steps: int,
+        kernel_backend: Optional[str] = None,
+    ) -> np.ndarray:
         """Run ``steps`` recurrent steps from ``initial_h``; returns the
-        final hidden state."""
+        final hidden state. ``kernel_backend`` pins the
+        :mod:`repro.kernels` backend for the whole rollout (``None`` =
+        ambient)."""
         if steps < 1:
             raise ValueError("need at least one step")
+        from repro.kernels import use_backend
+
         initial_h = np.asarray(initial_h, dtype=np.float32)
         state = LSTMState(h=initial_h, c=np.zeros_like(initial_h))
-        for _ in range(steps):
-            state = self.step(state)
+        with use_backend(kernel_backend):
+            for _ in range(steps):
+                state = self.step(state)
         return state.h
 
 
@@ -126,12 +136,17 @@ class FunctionalMLP:
             for k, n in zip(widths[:-1], widths[1:])
         ]
 
-    def run(self, x: np.ndarray) -> np.ndarray:
+    def run(
+        self, x: np.ndarray, kernel_backend: Optional[str] = None
+    ) -> np.ndarray:
+        from repro.kernels import use_backend
+
         x = np.asarray(x, dtype=np.float32)
-        for index, weight in enumerate(self.weights):
-            x = gemm(x, weight, self.encoding)
-            if index < len(self.weights) - 1:
-                x = _simd(np.maximum(x, 0.0), self.encoding)
+        with use_backend(kernel_backend):
+            for index, weight in enumerate(self.weights):
+                x = gemm(x, weight, self.encoding)
+                if index < len(self.weights) - 1:
+                    x = _simd(np.maximum(x, 0.0), self.encoding)
         return x
 
 

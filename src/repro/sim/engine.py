@@ -20,21 +20,32 @@ class Event:
     """A scheduled callback.
 
     Events compare by (time, sequence number) so that simultaneous
-    events fire in the order they were scheduled. Cancelled events stay
-    in the heap but are skipped when popped.
+    events fire in the order they were scheduled. Cancelled events are
+    skipped when popped; the simulator additionally compacts the heap
+    when cancelled entries outnumber live ones, so cancel-heavy
+    workloads (watchdogs, speculative timeouts) keep O(live) memory
+    instead of leaking every tombstone until drain.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "_sim")
 
     def __init__(self, time: float, seq: int, callback: Callable[[], None]):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None  # set while in the heap
 
     def cancel(self) -> None:
         """Prevent this event from firing."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        # Only a cancel of an event still sitting in a heap creates a
+        # tombstone; events already popped (or compacted out) have been
+        # detached and must not skew the tombstone count.
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -52,17 +63,53 @@ class Simulator:
         [10.0]
     """
 
+    #: Below this heap size compaction is pointless (the scan costs more
+    #: than the tombstones).
+    _COMPACT_MIN_SIZE = 64
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._cancelled_in_heap = 0
         self._profiler: Optional[Any] = None
 
     @property
     def events_processed(self) -> int:
         """Number of events executed so far (for instrumentation)."""
         return self._events_processed
+
+    @property
+    def queue_depth(self) -> int:
+        """Live (non-cancelled) events currently in the heap."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping for an in-heap cancel; compacts past ~50% dead.
+
+        Amortized O(1): a compaction scans the whole heap but removes at
+        least half of it, and the threshold must be re-reached by new
+        cancels before the next scan.
+        """
+        self._cancelled_in_heap += 1
+        if (
+            len(self._heap) >= self._COMPACT_MIN_SIZE
+            and 2 * self._cancelled_in_heap > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors."""
+        live = []
+        for event in self._heap:
+            if event.cancelled:
+                event._sim = None
+            else:
+                live.append(event)
+        heapq.heapify(live)
+        self._heap = live
+        self._cancelled_in_heap = 0
 
     def set_profiler(self, profiler: Optional[Any]) -> None:
         """Attach a hot-path profiler (``None`` detaches).
@@ -85,6 +132,7 @@ class Simulator:
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} < now {self.now}")
         event = Event(float(time), next(self._seq), callback)
+        event._sim = self
         heapq.heappush(self._heap, event)
         return event
 
@@ -119,14 +167,15 @@ class Simulator:
         while self._heap:
             event = self._heap[0]
             if event.cancelled:
-                heapq.heappop(self._heap)
+                heapq.heappop(self._heap)._sim = None
+                self._cancelled_in_heap -= 1
                 continue
             if until is not None and event.time > until:
                 stop = STOP_UNTIL
                 break
             if max_events is not None and processed >= max_events:
                 return STOP_MAX_EVENTS
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap)._sim = None
             self.now = event.time
             if profiler is None:
                 event.callback()
@@ -158,7 +207,8 @@ class Simulator:
     def peek(self) -> Optional[float]:
         """Timestamp of the next live event, or None when drained."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap)._sim = None
+            self._cancelled_in_heap -= 1
         return self._heap[0].time if self._heap else None
 
 

@@ -36,20 +36,28 @@ def convergence_experiment(
     hidden: int = 128,
     classes: int = 10,
     seed: int = 7,
+    kernel_backend: "str | None" = None,
 ) -> Dict[str, TrainingCurve]:
     """Figure 2a analog: validation error on image-like classification.
 
     Returns one validation-error curve per encoding; matched seeds make
-    the curves directly comparable.
+    the curves directly comparable. ``kernel_backend`` pins the
+    :mod:`repro.kernels` backend for the whole experiment (``None`` =
+    ambient; backends are bit-identical, so curves cannot depend on it).
     """
+    from repro.kernels import use_backend
+
     x, y = synthetic_image_classes(samples=samples, classes=classes, seed=seed)
     split = int(0.8 * samples)
     train, valid = (x[:split], y[:split]), (x[split:], y[split:])
     curves: Dict[str, TrainingCurve] = {}
-    for encoding in encodings:
-        model = _mlp(x.shape[1], hidden, classes, encoding, seed)
-        trainer = Trainer(model, SGD(lr=0.05, momentum=0.9), batch=64, seed=seed)
-        curves[encoding] = trainer.fit(train, valid, epochs, encoding)
+    with use_backend(kernel_backend):
+        for encoding in encodings:
+            model = _mlp(x.shape[1], hidden, classes, encoding, seed)
+            trainer = Trainer(
+                model, SGD(lr=0.05, momentum=0.9), batch=64, seed=seed
+            )
+            curves[encoding] = trainer.fit(train, valid, epochs, encoding)
     return curves
 
 
@@ -75,20 +83,28 @@ def perplexity_experiment(
     context: int = 3,
     hidden: int = 96,
     seed: int = 11,
+    kernel_backend: "str | None" = None,
 ) -> Dict[str, TrainingCurve]:
     """Figure 2b analog: validation perplexity of a char language model.
 
     The Markov corpus has low entropy, so a converging model's
     perplexity falls far below the uniform baseline (= vocab); the
     comparison is whether hbfp8 tracks fp32 down that curve.
+    ``kernel_backend`` pins the :mod:`repro.kernels` backend for the
+    whole experiment (``None`` = ambient).
     """
+    from repro.kernels import use_backend
+
     corpus = synthetic_char_corpus(length=corpus_length, vocab=vocab, seed=seed)
     x, y = _char_lm_dataset(corpus, vocab, context)
     split = int(0.85 * len(x))
     train, valid = (x[:split], y[:split]), (x[split:], y[split:])
     curves: Dict[str, TrainingCurve] = {}
-    for encoding in encodings:
-        model = _mlp(x.shape[1], hidden, vocab, encoding, seed)
-        trainer = Trainer(model, SGD(lr=0.1, momentum=0.9), batch=64, seed=seed)
-        curves[encoding] = trainer.fit(train, valid, epochs, encoding)
+    with use_backend(kernel_backend):
+        for encoding in encodings:
+            model = _mlp(x.shape[1], hidden, vocab, encoding, seed)
+            trainer = Trainer(
+                model, SGD(lr=0.1, momentum=0.9), batch=64, seed=seed
+            )
+            curves[encoding] = trainer.fit(train, valid, epochs, encoding)
     return curves

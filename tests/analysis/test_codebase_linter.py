@@ -32,6 +32,11 @@ class TestDtypeLeak:
     def test_arith_is_the_quantization_boundary(self):
         assert lint_source(self.LEAKY, path=ARITH_PATH) == []
 
+    def test_kernels_package_shares_the_boundary(self):
+        """The registered bfp kernel pairs are arith's math, moved."""
+        path = "src/repro/kernels/fast_bfp.py"
+        assert lint_source(self.LEAKY, path=path) == []
+
     def test_float32_is_fine(self):
         clean = "import numpy as np\n\nACC = np.float32(0.0)\n"
         assert lint_source(clean, path=CORE_PATH) == []
@@ -150,6 +155,46 @@ class TestDirectPercentile:
             "p = np.percentile([1.0], 50)  # eqx: ignore[EQX306]\n"
         )
         assert _ids(lint_source(source, path=EVAL_PATH)) == []
+
+
+class TestKernelImplImport:
+    def test_eqx308_import_of_impl_module(self):
+        source = "import repro.kernels.ref_bfp as ref\n\nQ = ref.quantize\n"
+        diags = lint_source(source, path=EVAL_PATH)
+        assert "EQX308" in _ids(diags)
+        assert diags[0].location.line == 1
+
+    def test_eqx308_from_impl_module(self):
+        source = "from repro.kernels.fast_bfp import matmul\n\nM = matmul\n"
+        assert "EQX308" in _ids(lint_source(source, path=CORE_PATH))
+
+    def test_eqx308_impl_module_out_of_package(self):
+        source = "from repro.kernels import ref_systolic\n\nR = ref_systolic\n"
+        assert "EQX308" in _ids(lint_source(source, path=EVAL_PATH))
+
+    def test_registry_api_is_sanctioned(self):
+        source = (
+            "from repro.kernels import dispatch, set_backend\n\n"
+            "PAIR = (dispatch, set_backend)\n"
+        )
+        assert "EQX308" not in _ids(lint_source(source, path=EVAL_PATH))
+
+    def test_kernels_package_registers_the_pairs(self):
+        source = "from repro.kernels.ref_bfp import quantize\n\nQ = quantize\n"
+        path = "src/repro/kernels/__init__.py"
+        assert lint_source(source, path=path) == []
+
+    def test_tests_may_reach_implementations(self):
+        source = "from repro.kernels.fast_bfp import matmul\n\nM = matmul\n"
+        path = "tests/kernels/test_parity_fuzz.py"
+        assert "EQX308" not in _ids(lint_source(source, path=path))
+
+    def test_suppression(self):
+        source = (
+            "import repro.kernels.ref_bfp as ref  # eqx: ignore[EQX308]\n\n"
+            "Q = ref.quantize\n"
+        )
+        assert "EQX308" not in _ids(lint_source(source, path=EVAL_PATH))
 
 
 class TestOrdering:

@@ -38,6 +38,52 @@ class TestSuite:
             bench.run_suite(repeats=0)
 
 
+class TestKernelPairs:
+    """The dual-backend pair entries and their speedups section."""
+
+    PAIR_BASES = (
+        "kernels.bfp_matmul", "kernels.quantize",
+        "kernels.systolic", "kernels.im2col",
+    )
+
+    def test_every_pair_pinned_under_both_backends(self):
+        suite = bench.pinned_kernels()
+        for base in self.PAIR_BASES:
+            assert f"{base}.reference" in suite
+            assert f"{base}.fast" in suite
+
+    def test_pair_work_proofs_match_across_backends(self):
+        """The timed payloads compute the same checksum — the bench is
+        timing the same work, not two different problems."""
+        suite = bench.pinned_kernels()
+        _, reference = suite["kernels.im2col.reference"]
+        _, fast = suite["kernels.im2col.fast"]
+        assert reference() == fast()
+
+    def test_speedups_section_built_from_pairs(self):
+        doc = bench.run_suite(
+            repeats=1,
+            kernels=["kernels.im2col.reference", "kernels.im2col.fast"],
+        )
+        record = doc["speedups"]["kernels.im2col"]
+        assert record["speedup"] == pytest.approx(
+            record["reference_s"] / record["fast_s"]
+        )
+        assert bench.validate_bench(doc) == []
+
+    def test_lone_backend_yields_no_speedups(self, quick_doc):
+        assert "speedups" not in quick_doc
+
+    def test_render_includes_speedup_table(self):
+        doc = bench.run_suite(
+            repeats=1,
+            kernels=["kernels.im2col.reference", "kernels.im2col.fast"],
+        )
+        text = bench.render_suite(doc)
+        assert "speedup" in text
+        assert "kernels.im2col" in text
+
+
 class TestValidation:
     def test_valid_document_passes(self, quick_doc):
         assert bench.validate_bench(quick_doc) == []
@@ -60,6 +106,24 @@ class TestValidation:
     def test_empty_kernels_fail(self, quick_doc):
         doc = dict(quick_doc, kernels={})
         assert bench.validate_bench(doc)
+
+    def test_speedups_must_be_an_object(self, quick_doc):
+        doc = dict(quick_doc, speedups=[1.0])
+        assert any("speedups" in p for p in bench.validate_bench(doc))
+
+    def test_nonpositive_speedup_timing_fails(self, quick_doc):
+        doc = dict(quick_doc, speedups={
+            "kernels.x": {"reference_s": 0.0, "fast_s": 1.0, "speedup": 0.0},
+        })
+        assert any("speedups.kernels.x" in p for p in bench.validate_bench(doc))
+
+    def test_wellformed_speedups_pass(self, quick_doc):
+        doc = dict(quick_doc, speedups={
+            "kernels.x": {
+                "reference_s": 2.0, "fast_s": 0.5, "speedup": 4.0,
+            },
+        })
+        assert bench.validate_bench(doc) == []
 
 
 class TestArtifact:

@@ -169,6 +169,62 @@ class TestMaxEventsClock:
         assert fired == [1, 2, 3, 4, 5]
 
 
+class TestHeapCompaction:
+    """Regression: cancelled events used to sit in the heap as
+    tombstones until popped, so cancel-heavy workloads (speculative
+    timeouts, watchdogs) leaked O(cancelled) memory until drain. The
+    simulator now compacts lazily once cancelled entries outnumber
+    live ones."""
+
+    def test_heap_stays_bounded_under_cancel_heavy_workload(self, sim):
+        peak = 0
+        for t in range(10_000):
+            sim.at(t + 1, lambda: None).cancel()
+            peak = max(peak, len(sim._heap))
+        # Without compaction the peak would be ~10_000; with it the
+        # heap never exceeds the compaction floor.
+        assert peak < 2 * Simulator._COMPACT_MIN_SIZE
+        assert sim.queue_depth == 0
+
+    def test_queue_depth_counts_live_events_only(self, sim):
+        events = [sim.at(t + 1, lambda: None) for t in range(10)]
+        assert sim.queue_depth == 10
+        for event in events[:4]:
+            event.cancel()
+        assert sim.queue_depth == 6
+
+    def test_double_cancel_counts_once(self, sim):
+        events = [sim.at(t + 1, lambda: None) for t in range(10)]
+        events[0].cancel()
+        events[0].cancel()
+        assert sim.queue_depth == 9
+
+    def test_events_fire_in_order_after_compaction(self, sim):
+        fired = []
+        events = [
+            sim.at(t, lambda t=t: fired.append(t)) for t in range(1, 301)
+        ]
+        # Cancel two thirds — enough to cross the >50% dead threshold
+        # and force at least one mid-stream compaction.
+        for index, event in enumerate(events):
+            if index % 3:
+                event.cancel()
+        sim.run()
+        assert fired == list(range(1, 301, 3))
+
+    def test_cancel_after_fire_does_not_skew_bookkeeping(self, sim):
+        """A cancel of an already-popped event (RecurringEvent does
+        this) must not create a tombstone: the counter would drift and
+        queue_depth would under-report live events."""
+        event = sim.at(1, lambda: None)
+        sim.at(2, lambda: None)
+        sim.run(max_events=1)
+        event.cancel()
+        assert sim.queue_depth == 1
+        sim.run()
+        assert sim.queue_depth == 0
+
+
 class TestRecurringEvent:
     def test_fires_every_interval_until_cancelled(self, sim):
         fired = []
