@@ -12,7 +12,11 @@ parsed module. Shipping rules:
 * **EQX302 nondeterminism** — wall-clock reads (``time.time``,
   ``datetime.now``...) or unseeded RNG (``np.random.*`` without a seed,
   ``random.*`` module functions) inside ``repro.sim``, ``repro.hw`` and
-  ``repro.core``, which must stay bit-reproducible.
+  ``repro.core``, which must stay bit-reproducible (errors). Outside
+  those packages, wall-clock and ``uuid4``/``uuid1`` calls are still
+  reported as warnings unless the module is on the audited timing
+  allowlist (``exec.bench``, ``obs.profile``, ``exec.tasks``,
+  ``__main__``).
 * **EQX303 swallowed-exception** — bare ``except:`` and
   ``except Exception: pass`` handlers.
 * **EQX304 unused-import** — imports never referenced in the module.
@@ -40,7 +44,8 @@ parsed module. Shipping rules:
   artifacts embed.
 
 Suppression: append ``# eqx: ignore[EQX301]`` (or ``# eqx: ignore`` for
-all rules) to the offending line. Suppressions are deliberate
+all rules) to the offending line; ``# eqx: disable=EQX301,EQX304`` is
+an accepted spelling of the same thing. Suppressions are deliberate
 escape hatches — e.g. the functional systolic-array model computes its
 exact-accumulation reference in float64 on purpose.
 """
@@ -52,11 +57,13 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis import rules
-from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.diagnostics import Diagnostic, Severity
 
-#: ``# eqx: ignore`` / ``# eqx: ignore[EQX301, EQX304]``
+#: ``# eqx: ignore`` / ``# eqx: ignore[EQX301, EQX304]`` /
+#: ``# eqx: disable=EQX301,EQX304`` / ``# eqx: disable``
 _SUPPRESS_RE = re.compile(
-    r"#\s*eqx:\s*ignore(?:\[(?P<ids>[A-Z0-9,\s]+)\])?"
+    r"#\s*eqx:\s*(?:ignore(?:\[(?P<ids>[A-Z0-9,\s]+)\])?"
+    r"|disable(?:\s*=\s*(?P<disable_ids>[A-Z0-9,\s]+))?)"
 )
 
 #: Modules whose determinism the simulator's reproducibility depends on.
@@ -99,7 +106,7 @@ def _parse_suppressions(
         match = _SUPPRESS_RE.search(text)
         if not match:
             continue
-        ids = match.group("ids")
+        ids = match.group("ids") or match.group("disable_ids")
         if ids is None:
             suppressions[number] = None
         else:
@@ -160,7 +167,15 @@ class DtypeLeakRule(LintRule):
 
 
 class NondeterminismRule(LintRule):
-    """EQX302: wall-clock or unseeded RNG in deterministic packages."""
+    """EQX302: wall-clock or unseeded RNG in deterministic packages.
+
+    Inside the deterministic packages (``repro.sim``/``hw``/``core``)
+    every wall-clock read and unseeded-RNG draw is an **error**. Outside
+    them, wall-clock and uuid calls still surface — as **warnings** —
+    unless the module is on the audited allowlist (the bench timing
+    harness, the profiler whose clock is injectable, the deliberately
+    impure exec probe, and the CLI's progress timers).
+    """
 
     rule = rules.NONDETERMINISM
 
@@ -170,17 +185,30 @@ class NondeterminismRule(LintRule):
         "datetime.datetime.now", "datetime.datetime.utcnow",
         "datetime.date.today",
     }
+    #: Identity sources: every call is fresh by construction.
+    _UUID_CALLS = {"uuid.uuid4", "uuid4", "uuid.uuid1", "uuid1"}
     #: np.random constructors that are deterministic when given a seed.
     _SEEDABLE = {
         "np.random.default_rng", "numpy.random.default_rng",
         "np.random.RandomState", "numpy.random.RandomState",
         "random.Random",
     }
+    #: Modules audited to read the wall clock: measurement is their job.
+    _AUDITED_MODULES = (
+        "repro/exec/bench.py",    # kernel timing harness
+        "repro/obs/profile.py",   # profiler (clock is an injectable arg)
+        "repro/exec/tasks.py",    # exec_probe sleeps on request
+        "repro/__main__.py",      # CLI progress timers
+    )
 
     def applies_to(self, context: LintContext) -> bool:
-        return context.in_package("sim", "hw", "core")
+        return not any(
+            context.module_path.endswith(suffix)
+            for suffix in self._AUDITED_MODULES
+        )
 
     def check(self, tree: ast.Module, context: LintContext) -> List[Diagnostic]:
+        strict = context.in_package("sim", "hw", "core")
         diags: List[Diagnostic] = []
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
@@ -189,12 +217,34 @@ class NondeterminismRule(LintRule):
             if name is None:
                 continue
             if name in self._CLOCK_CALLS:
+                if strict:
+                    diags.append(rules.diagnostic(
+                        self.rule,
+                        f"{name}() reads the wall clock inside a "
+                        "deterministic simulation package",
+                        file=context.path, line=node.lineno,
+                    ))
+                else:
+                    diags.append(rules.diagnostic(
+                        self.rule,
+                        f"{name}() reads the wall clock outside the "
+                        "audited timing modules — route timing through "
+                        "repro.obs.profile or repro.exec.bench, or add "
+                        "the module to the audited allowlist",
+                        file=context.path, line=node.lineno,
+                        severity=Severity.WARNING,
+                    ))
+            elif name in self._UUID_CALLS:
                 diags.append(rules.diagnostic(
                     self.rule,
-                    f"{name}() reads the wall clock inside a "
-                    "deterministic simulation package",
+                    f"{name}() mints a fresh identity every run — "
+                    "derive ids from (config, seed) instead so "
+                    "artifacts and cache keys stay reproducible",
                     file=context.path, line=node.lineno,
+                    severity=Severity.ERROR if strict else Severity.WARNING,
                 ))
+            elif not strict:
+                continue
             elif name in self._SEEDABLE:
                 if not node.args and not node.keywords:
                     diags.append(rules.diagnostic(
@@ -590,6 +640,8 @@ def lint_tree(
     if root.is_file():
         return lint_file(root, root.parent, lint_rules)
     diags: List[Diagnostic] = []
-    for path in sorted(root.rglob("*.py")):
+    # Sort by posix-rendered path: byte-stable across filesystems whose
+    # native separators or readdir order differ.
+    for path in sorted(root.rglob("*.py"), key=lambda p: p.as_posix()):
         diags.extend(lint_file(path, root.parent, lint_rules))
     return diags

@@ -1,0 +1,354 @@
+"""The effect lattice: sources, detection, interprocedural propagation.
+
+An *effect* is anything that can make a function's observable behavior
+depend on state outside its arguments — the exact things that break the
+exec engine's caching contract (a cached result must be a pure function
+of ``(config, seed, code_fingerprint)``) and the simulator's
+bit-determinism claim. The vocabulary is
+:data:`repro.analysis.annotations.KNOWN_EFFECTS`:
+
+=================  =====================================================
+``wall_clock``     ``time.time``/``perf_counter``/``sleep``,
+                   ``datetime.now`` family
+``unseeded_rng``   global numpy/random state, unseeded ``default_rng``,
+                   ``uuid.uuid4``/``uuid1``, ``os.urandom``, ``secrets``
+``env_read``       ``os.environ`` access, ``os.getenv``
+``id_value``       ``id()`` — a CPython heap address, differs per run
+``thread``         ``threading``/``multiprocessing``/futures use
+``set_order``      iterating a set (str hashing is salted per process)
+``fs_order``       unsorted ``listdir``/``scandir``/``glob``/``rglob``
+``io``             ``open()``, ``Path`` read/write, ``tempfile``
+``process``        ``os._exit``/``kill``/``fork``, ``subprocess``
+=================  =====================================================
+
+The lattice is the powerset of that vocabulary ordered by inclusion:
+join is set union, bottom is the empty set (pure), top is every effect.
+Propagation is a monotone fixed point over the call graph — a
+function's *exported* effects are its direct sources joined with every
+resolved callee's exports, minus whatever an ``@audited`` annotation
+vouches for — so convergence is guaranteed in
+O(functions x effects) rounds even through call cycles.
+
+Detection is syntactic and *resolved through each module's import
+table* (so ``from numpy.random import default_rng`` and
+``np.random.default_rng`` both match), mirroring how EQX302 recognizes
+its targets per file — this module generalizes that list
+interprocedurally.
+"""
+
+import ast
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis.annotations import KNOWN_EFFECTS, PURE_MARKER
+
+__all__ = [
+    "EFFECTS",
+    "NONDETERMINISM_EFFECTS",
+    "STATE_EFFECTS",
+    "EffectSummary",
+    "detect_effects",
+    "propagate",
+]
+
+#: Stable tuple of the whole vocabulary, sorted.
+EFFECTS: Tuple[str, ...] = tuple(sorted(KNOWN_EFFECTS))
+
+#: Effects that break bit-determinism (EQX401's gate).
+NONDETERMINISM_EFFECTS = frozenset({
+    "wall_clock", "unseeded_rng", "id_value", "thread", "set_order",
+    "fs_order", "process",
+})
+
+#: Effects that read or write state outside ``(config, seed)`` —
+#: exactly what escapes the exec cache key (EQX403's gate).
+STATE_EFFECTS = frozenset({"env_read", "io"})
+
+
+# ----------------------------------------------------------------------
+# Source tables (qualified names after import resolution)
+# ----------------------------------------------------------------------
+
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.sleep",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Constructors that are deterministic *with* a seed argument.
+_SEEDABLE_CALLS = frozenset({
+    "numpy.random.default_rng", "numpy.random.RandomState", "random.Random",
+})
+
+_RNG_CALLS = frozenset({
+    "uuid.uuid4", "uuid.uuid1", "os.urandom", "secrets.token_bytes",
+    "secrets.token_hex", "secrets.token_urlsafe", "secrets.randbelow",
+    "secrets.choice",
+})
+
+_RNG_PREFIXES = ("numpy.random.", "random.", "secrets.")
+
+_ENV_CALLS = frozenset({"os.getenv"})
+
+_THREAD_PREFIXES = (
+    "threading.", "multiprocessing.", "concurrent.futures.",
+)
+
+_FS_ORDER_CALLS = frozenset({
+    "os.listdir", "os.scandir", "glob.glob", "glob.iglob",
+})
+_FS_ORDER_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+_IO_CALLS = frozenset({
+    "open", "os.makedirs", "os.replace", "os.remove", "os.rename",
+    "os.mkdir", "shutil.copy", "shutil.copyfile", "shutil.rmtree",
+    "tempfile.mkstemp", "tempfile.mkdtemp", "tempfile.NamedTemporaryFile",
+    "tempfile.TemporaryDirectory",
+})
+_IO_METHODS = frozenset({
+    "read_text", "read_bytes", "write_text", "write_bytes",
+})
+
+_PROCESS_CALLS = frozenset({
+    "os._exit", "os.kill", "os.fork", "os.abort", "os.execv", "os.system",
+})
+_PROCESS_PREFIXES = ("subprocess.",)
+
+
+def _render_dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _qualify(dotted: str, imports: Mapping[str, str]) -> str:
+    """Resolve the head of a dotted name through the import table."""
+    head, _, rest = dotted.partition(".")
+    base = imports.get(head)
+    if base is None:
+        return dotted
+    return f"{base}.{rest}" if rest else base
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def detect_effects(
+    fn_node: ast.AST, imports: Mapping[str, str]
+) -> Dict[str, Tuple[int, str]]:
+    """Direct effect sources in one function body.
+
+    Returns ``{effect: (line, source expression)}`` for the *first*
+    occurrence of each effect — enough for a precise diagnostic without
+    storing every site. ``imports`` is the module's local-name →
+    qualified-name table.
+    """
+    found: Dict[str, Tuple[int, str]] = {}
+
+    def record(effect: str, node: ast.AST, shown: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if effect not in found or line < found[effect][0]:
+            found[effect] = (line, shown)
+
+    # Parent map so "directly inside sorted()" can neutralize fs_order.
+    parents: Dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(fn_node):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+
+    def inside_sorted(node: ast.AST) -> bool:
+        parent = parents.get(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id == "sorted"
+            and node in parent.args
+        )
+
+    for node in ast.walk(fn_node):
+        # Attribute access effects (no call needed): os.environ[...]
+        if isinstance(node, ast.Attribute):
+            dotted = _render_dotted(node)
+            if dotted is not None and _qualify(dotted, imports) == (
+                "os.environ"
+            ):
+                record("env_read", node, "os.environ")
+
+        # Set-iteration order feeding downstream values.
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if _is_set_expr(node.iter):
+                record("set_order", node, ast.unparse(node.iter))
+        elif isinstance(node, (
+            ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
+        )):
+            for generator in node.generators:
+                if _is_set_expr(generator.iter):
+                    record("set_order", node, ast.unparse(generator.iter))
+
+        if not isinstance(node, ast.Call):
+            continue
+        rendered = _render_dotted(node.func)
+        if rendered is None:
+            # method call on a non-name expression; still check the
+            # attribute for path-iteration / io method names below.
+            if isinstance(node.func, ast.Attribute):
+                attr = node.func.attr
+                if attr in _FS_ORDER_METHODS and not inside_sorted(node):
+                    record("fs_order", node, f".{attr}()")
+                elif attr in _IO_METHODS:
+                    record("io", node, f".{attr}()")
+            continue
+        qualified = _qualify(rendered, imports)
+        leaf = qualified.rsplit(".", 1)[-1]
+
+        if qualified in _WALL_CLOCK_CALLS:
+            record("wall_clock", node, f"{qualified}()")
+        elif qualified in _SEEDABLE_CALLS:
+            if not node.args and not node.keywords:
+                record("unseeded_rng", node, f"{qualified}()")
+        elif qualified in _RNG_CALLS or qualified.startswith(_RNG_PREFIXES):
+            record("unseeded_rng", node, f"{qualified}()")
+        elif qualified in _ENV_CALLS:
+            record("env_read", node, f"{qualified}()")
+        elif qualified == "id":
+            record("id_value", node, "id()")
+        elif qualified.startswith(_THREAD_PREFIXES):
+            record("thread", node, f"{qualified}()")
+        elif qualified in _FS_ORDER_CALLS or (
+            leaf in _FS_ORDER_METHODS and "." in rendered
+        ):
+            if not inside_sorted(node):
+                record("fs_order", node, f"{qualified}()")
+        elif qualified in _IO_CALLS or leaf in _IO_METHODS:
+            record("io", node, f"{qualified}()")
+        elif qualified in _PROCESS_CALLS or qualified.startswith(
+            _PROCESS_PREFIXES
+        ):
+            record("process", node, f"{qualified}()")
+    return found
+
+
+# ----------------------------------------------------------------------
+# Interprocedural propagation
+# ----------------------------------------------------------------------
+
+
+class EffectSummary:
+    """Fixed-point result: exported effects + witness chains.
+
+    ``effects[fn]`` is the set of effect names ``fn`` exports to its
+    callers. ``witness(fn, effect)`` renders the call chain from ``fn``
+    down to the function whose body contains the source — the part of
+    an interprocedural diagnostic that makes it actionable.
+    """
+
+    def __init__(
+        self,
+        exported: Dict[str, Set[str]],
+        origins: Dict[str, Dict[str, Tuple[str, int, str]]],
+    ):
+        self._exported = exported
+        #: fn -> effect -> (via_qualname, line, expr); via == fn for a
+        #: direct source.
+        self._origins = origins
+
+    def effects_of(self, qualname: str) -> Set[str]:
+        return set(self._exported.get(qualname, set()))
+
+    def witness(self, qualname: str, effect: str, limit: int = 12) -> str:
+        """``a -> b -> c: expr (file-local line)`` provenance chain."""
+        chain: List[str] = [qualname]
+        current = qualname
+        for _ in range(limit):
+            origin = self._origins.get(current, {}).get(effect)
+            if origin is None:
+                break
+            via, line, expr = origin
+            if via == current:
+                return (
+                    " -> ".join(chain)
+                    + f": {expr} at line {line}"
+                )
+            chain.append(via)
+            current = via
+        return " -> ".join(chain)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            qualname: sorted(effects)
+            for qualname, effects in sorted(self._exported.items())
+            if effects
+        }
+
+
+def propagate(functions: Mapping[str, Any]) -> EffectSummary:
+    """Run the effect fixed point over extracted function records.
+
+    ``functions`` maps qualname -> :class:`FunctionRecord`-shaped
+    objects (``calls``, ``effects``, ``audit`` attributes). Unresolved
+    calls contribute nothing — the analysis under-approximates edges,
+    and the EQX404 coverage rule exists precisely to keep the entry
+    points it *must* see inside the resolved region.
+    """
+    exported: Dict[str, Set[str]] = {}
+    origins: Dict[str, Dict[str, Tuple[str, int, str]]] = {}
+
+    def audit_set(record: Any) -> Set[str]:
+        if record.audit is None:
+            return set()
+        if PURE_MARKER in record.audit:
+            return set(KNOWN_EFFECTS)
+        return set(record.audit)
+
+    # Seed with direct sources.
+    for qualname, record in functions.items():
+        audited = audit_set(record)
+        effects: Set[str] = set()
+        origin: Dict[str, Tuple[str, int, str]] = {}
+        for effect, (line, expr) in record.effects.items():
+            if effect in audited:
+                continue
+            effects.add(effect)
+            origin[effect] = (qualname, line, expr)
+        exported[qualname] = effects
+        origins[qualname] = origin
+
+    # Reverse edges for the worklist.
+    callers: Dict[str, List[str]] = {}
+    for qualname, record in functions.items():
+        for callee in record.calls:
+            if callee in functions:
+                callers.setdefault(callee, []).append(qualname)
+
+    worklist = [q for q, effects in exported.items() if effects]
+    while worklist:
+        changed = worklist.pop()
+        for caller in callers.get(changed, ()):  # propagate upward
+            record = functions[caller]
+            audited = audit_set(record)
+            grew = False
+            for effect in exported[changed]:
+                if effect in audited or effect in exported[caller]:
+                    continue
+                exported[caller].add(effect)
+                origin = origins[changed].get(effect)
+                line = record.line if hasattr(record, "line") else 0
+                origins[caller][effect] = (
+                    changed, origin[1] if origin else line,
+                    origin[2] if origin else effect,
+                )
+                grew = True
+            if grew:
+                worklist.append(caller)
+    return EffectSummary(exported, origins)

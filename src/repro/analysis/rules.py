@@ -155,6 +155,47 @@ KERNEL_IMPL_IMPORT = _register(Rule(
     "SystolicArray.run...) or kernels.dispatch() instead.",
 ))
 
+# ---------------------------------------------------------------- EQX4xx
+# Whole-program rules: judged against the interprocedural call graph
+# and effect lattice (repro.analysis.whole_program), not one file.
+NONDET_JOB_FN = _register(Rule(
+    "EQX401", "nondeterministic-job-fn", Severity.ERROR,
+    "A registered exec job function transitively reaches a "
+    "nondeterminism source (wall clock, unseeded RNG, set iteration "
+    "order, id(), threading) — the content-addressed result cache "
+    "would silently serve results that a re-run cannot reproduce.",
+))
+RNG_STREAM_DIVERGENCE = _register(Rule(
+    "EQX402", "rng-stream-divergence", Severity.ERROR,
+    "A KernelPair's reference and fast implementations consume their "
+    "rng parameter differently (methods, argument shapes, order, or "
+    "forwarding) — backends would desynchronize the RNG stream and "
+    "every later stochastic call diverges, violating the bit-exact "
+    "parity contract.",
+))
+CACHE_KEY_ESCAPE = _register(Rule(
+    "EQX403", "cache-key-escape", Severity.ERROR,
+    "A registered job function reads state outside (config, seed, "
+    "code_fingerprint) — environment variables or files — so the "
+    "cache key does not describe the computation and cached results "
+    "are unsound.",
+))
+UNREGISTERED_ENTRY_POINT = _register(Rule(
+    "EQX404", "unregistered-entry-point", Severity.ERROR,
+    "A registry target or kernel implementation the call graph cannot "
+    "resolve (or a job-shaped function missing its registration) is "
+    "an entry point the whole-program rules silently skip — the "
+    "analyzer's coverage guarantee is void until it is registered or "
+    "removed.",
+))
+IMPURE_MERGE_STATE = _register(Rule(
+    "EQX405", "impure-merge_state", Severity.ERROR,
+    "A merge_state implementation has effects — the worker-to-parent "
+    "aggregation hand-off must be a pure fold, or parallel execution "
+    "(--jobs N) diverges from serial and the byte-identical artifact "
+    "guarantee breaks.",
+))
+
 
 def catalog() -> List[Rule]:
     """All registered rules in id order."""

@@ -16,6 +16,7 @@ the sweep behind them is deterministic.
 import math
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.analysis.annotations import audited
 from repro.dse.explorer import DesignPoint, DesignSpaceExplorer
 from repro.dse.pareto import pareto_frontier
 from repro.dse.tech import TechnologyModel, TSMC28
@@ -32,6 +33,12 @@ EQUINOX_LATENCY_CLASSES: Tuple[Tuple[str, Optional[float]], ...] = (
 _SWEEP_CACHE: Dict[Tuple[str, int], List[DesignPoint]] = {}
 
 
+@audited(
+    "id_value",
+    reason="id(tech) keys the per-process sweep memo only; the sweep "
+    "result is a pure function of (encoding, tech constants), so the "
+    "identity can select a cache slot but never a different value",
+)
 def _sweep(
     encoding: str,
     tech: TechnologyModel,

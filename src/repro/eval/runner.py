@@ -13,6 +13,7 @@ experiment builds — that aggregate becomes the experiment's
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional
 
+from repro.analysis.annotations import audited
 from repro.core.equinox import EquinoxAccelerator, SimulationReport
 from repro.dse.table1 import equinox_configuration
 from repro.hw.config import AcceleratorConfig
@@ -94,6 +95,12 @@ class ExperimentCapture:
         self._fault_totals: Dict[int, Dict[str, float]] = {}
         self._remote_serial = 0
 
+    @audited(
+        "id_value",
+        reason="id(accelerator) keys per-accelerator delta state only; "
+        "the identity never reaches captured values, so the fold is a "
+        "deterministic function of the observed accelerators",
+    )
     def observe(self, accelerator: EquinoxAccelerator) -> None:
         """Fold one accelerator's state since its last observation."""
         state = self._accel_state.setdefault(id(accelerator), {})

@@ -30,6 +30,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
+from repro.analysis.annotations import audited
+
 __all__ = [
     "BACKENDS",
     "KernelPair",
@@ -82,6 +84,13 @@ def _check_backend(backend: str) -> str:
     return backend
 
 
+@audited(
+    "env_read",
+    reason="REPRO_KERNEL_BACKEND is read once, at import, to pick the "
+    "ambient backend; both backends are bit-exact by the parity "
+    "contract, so the choice never changes a result — and job workers "
+    "inherit the parent's environment anyway",
+)
 def _initial_backend() -> str:
     """The ambient backend at import: env override or the fast default."""
     value = os.environ.get(ENV_VAR)

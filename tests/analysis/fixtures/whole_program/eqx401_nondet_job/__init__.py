@@ -1,0 +1,1 @@
+"""EQX401 fixture: a registered job that is transitively nondeterministic."""

@@ -1,0 +1,5 @@
+"""The fn_id -> callable table the analyzer decodes."""
+
+_REGISTRY = {
+    "demo.job": "eqx401_nondet_job.tasks:run_demo",
+}

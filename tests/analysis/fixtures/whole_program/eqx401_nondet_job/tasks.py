@@ -1,0 +1,12 @@
+"""The wall clock hides one call down: only interprocedural analysis
+sees it from the registered entry point."""
+
+import time
+
+
+def _stamp():
+    return time.time()
+
+
+def run_demo(config, seed):
+    return {"stamp": _stamp(), "seed": seed}

@@ -1,0 +1,1 @@
+"""EQX402 fixture: a kernel pair whose backends draw rng differently."""

@@ -1,0 +1,12 @@
+"""Reference draws normal(); fast draws random() — same count, same
+receiver, different stream consumption."""
+
+
+def ref_scale(x, rng):
+    noise = rng.normal(0.0, 1.0)
+    return x + noise
+
+
+def fast_scale(x, rng):
+    noise = rng.random()
+    return x + noise

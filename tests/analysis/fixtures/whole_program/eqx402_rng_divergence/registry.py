@@ -1,0 +1,10 @@
+"""A register_kernel call site shaped like repro.kernels' own."""
+
+from eqx402_rng_divergence.impls import fast_scale, ref_scale
+
+
+def register_kernel(name, reference, fast):
+    return (name, reference, fast)
+
+
+PAIR = register_kernel("demo.scale", ref_scale, fast_scale)

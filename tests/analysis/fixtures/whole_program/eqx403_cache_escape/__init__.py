@@ -1,0 +1,2 @@
+"""EQX403 fixture: a registered job whose result depends on the
+environment, which the (config, seed) cache key never sees."""

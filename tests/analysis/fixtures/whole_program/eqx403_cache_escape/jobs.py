@@ -1,0 +1,3 @@
+_REGISTRY = {
+    "env.job": "eqx403_cache_escape.tasks:run_env",
+}

@@ -1,0 +1,5 @@
+import os
+
+
+def run_env(config, seed):
+    return {"home": os.environ.get("HOME", ""), "seed": seed}

@@ -1,0 +1,2 @@
+"""EQX404 fixture: a registry target that does not exist, plus a
+job-shaped function in the target module that was never registered."""

@@ -1,0 +1,3 @@
+_REGISTRY = {
+    "ghost.job": "eqx404_unregistered.tasks:vanished",
+}

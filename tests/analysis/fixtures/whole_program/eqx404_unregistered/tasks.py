@@ -1,0 +1,2 @@
+def orphan_job(config, seed):
+    return {"seed": seed}

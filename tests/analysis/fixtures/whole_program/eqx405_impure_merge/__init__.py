@@ -1,0 +1,1 @@
+"""EQX405 fixture: a merge_state fold with a side effect."""

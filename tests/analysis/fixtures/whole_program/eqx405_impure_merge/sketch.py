@@ -1,0 +1,11 @@
+import time
+
+
+class Collector:
+    def __init__(self):
+        self.total = 0.0
+        self.stamp = 0.0
+
+    def merge_state(self, state):
+        self.total += float(state["total"])
+        self.stamp = time.time()

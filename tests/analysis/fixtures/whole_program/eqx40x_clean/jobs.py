@@ -1,0 +1,4 @@
+_REGISTRY = {
+    "audited.job": "eqx40x_clean.tasks:audited_job",
+    "suppressed.job": "eqx40x_clean.tasks:suppressed_job",
+}

@@ -1,0 +1,16 @@
+import time
+
+from repro.analysis.annotations import audited
+
+
+def _now():
+    return time.time()
+
+
+@audited("wall_clock", reason="fixture: deliberately audited sink")
+def audited_job(config, seed):
+    return {"stamp": time.time(), "seed": seed}
+
+
+def suppressed_job(config, seed):  # eqx: disable=EQX401
+    return {"stamp": _now(), "seed": seed}

@@ -1,0 +1,223 @@
+"""Call-graph construction: module discovery, resolution, registry
+decoding, audit decoding, digests and the JSON artifact roundtrip."""
+
+from pathlib import Path
+
+from repro.analysis.callgraph import (
+    CALLGRAPH_SCHEMA,
+    ProgramIndex,
+    build_index,
+    load_or_build_index,
+    tree_digest,
+)
+
+
+def _write_pkg(root: Path, files):
+    root.mkdir(parents=True, exist_ok=True)
+    for name, source in files.items():
+        path = root / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+class TestDiscovery:
+    def test_module_names_derive_from_root(self, tmp_path):
+        root = _write_pkg(tmp_path / "demo", {
+            "__init__.py": "",
+            "a.py": "def f():\n    return 1\n",
+            "sub/__init__.py": "",
+            "sub/b.py": "def g():\n    return 2\n",
+        })
+        index = build_index(root)
+        assert set(index.modules) == {
+            "demo", "demo.a", "demo.sub", "demo.sub.b",
+        }
+        assert "demo.a.f" in index.functions
+        assert "demo.sub.b.g" in index.functions
+
+    def test_digest_is_content_addressed(self, tmp_path):
+        root = _write_pkg(tmp_path / "demo", {"a.py": "X = 1\n"})
+        before = tree_digest(root)
+        (root / "a.py").write_text("X = 2\n")
+        assert tree_digest(root) != before
+
+
+class TestResolution:
+    def test_direct_and_imported_calls(self, tmp_path):
+        root = _write_pkg(tmp_path / "demo", {
+            "__init__.py": "",
+            "util.py": "def helper():\n    return 1\n",
+            "main.py": (
+                "from demo.util import helper\n\n\n"
+                "def run():\n    return helper()\n"
+            ),
+        })
+        index = build_index(root)
+        assert index.functions["demo.main.run"].calls == ["demo.util.helper"]
+
+    def test_method_call_through_self(self, tmp_path):
+        root = _write_pkg(tmp_path / "demo", {
+            "m.py": (
+                "class C:\n"
+                "    def a(self):\n        return self.b()\n"
+                "    def b(self):\n        return 1\n"
+            ),
+        })
+        index = build_index(root)
+        assert index.functions["demo.m.C.a"].calls == ["demo.m.C.b"]
+
+    def test_local_instance_call(self, tmp_path):
+        root = _write_pkg(tmp_path / "demo", {
+            "m.py": (
+                "class C:\n"
+                "    def go(self):\n        return 1\n\n\n"
+                "def run():\n"
+                "    c = C()\n"
+                "    return c.go()\n"
+            ),
+        })
+        index = build_index(root)
+        calls = index.functions["demo.m.run"].calls
+        assert "demo.m.C.go" in calls
+
+    def test_unknown_calls_are_recorded_not_guessed(self, tmp_path):
+        root = _write_pkg(tmp_path / "demo", {
+            "m.py": "def run():\n    return mystery()\n",
+        })
+        index = build_index(root)
+        record = index.functions["demo.m.run"]
+        assert record.calls == []
+        assert "mystery" in record.unresolved
+
+
+class TestRegistryDecoding:
+    def test_registry_dict_literal(self, tmp_path):
+        root = _write_pkg(tmp_path / "demo", {
+            "jobs.py": '_REGISTRY = {"a.b": "demo.t:fn"}\n',
+            "t.py": "def fn(config, seed):\n    return seed\n",
+        })
+        index = build_index(root)
+        assert index.job_registry() == {"a.b": "demo.t:fn"}
+        assert index.resolve_target("demo.t:fn").qualname == "demo.t.fn"
+
+    def test_register_job_calls(self, tmp_path):
+        root = _write_pkg(tmp_path / "demo", {
+            "jobs.py": (
+                "def register_job(fn_id, target):\n    return fn_id\n\n"
+                'register_job("x.y", "demo.t:fn")\n'
+            ),
+            "t.py": "def fn(config, seed):\n    return seed\n",
+        })
+        index = build_index(root)
+        assert index.job_registry() == {"x.y": "demo.t:fn"}
+
+    def test_kernel_pair_decoding(self, tmp_path):
+        root = _write_pkg(tmp_path / "demo", {
+            "impl.py": (
+                "def ref(x, rng):\n    return rng.random()\n\n"
+                "def fast(x, rng):\n    return rng.random()\n"
+            ),
+            "reg.py": (
+                "from demo.impl import fast, ref\n\n"
+                "def register_kernel(name, reference, fast):\n"
+                "    return name\n\n"
+                'register_kernel("demo.k", ref, fast)\n'
+            ),
+        })
+        index = build_index(root)
+        pairs = index.kernel_pairs()
+        assert pairs["demo.k"]["reference"] == "demo.impl.ref"
+        assert pairs["demo.k"]["fast"] == "demo.impl.fast"
+
+    def test_rng_traces_match_for_identical_draws(self, tmp_path):
+        root = _write_pkg(tmp_path / "demo", {
+            "impl.py": (
+                "def ref(x, rng):\n    return rng.normal(0.0, 1.0)\n\n"
+                "def fast(x, rng):\n    return rng.normal(0.0, 1.0)\n"
+            ),
+        })
+        index = build_index(root)
+        ref = index.functions["demo.impl.ref"]
+        fast = index.functions["demo.impl.fast"]
+        assert ref.rng_trace == fast.rng_trace
+        assert ref.rng_trace == ["rng.normal(0.0, 1.0)"]
+
+    def test_rng_forwarding_is_part_of_the_trace(self, tmp_path):
+        root = _write_pkg(tmp_path / "demo", {
+            "impl.py": (
+                "def inner(rng):\n    return rng.random()\n\n"
+                "def outer(x, rng):\n    return inner(rng)\n"
+            ),
+        })
+        index = build_index(root)
+        assert index.functions["demo.impl.outer"].rng_trace == [
+            "inner(...rng...)"
+        ]
+
+
+class TestAuditDecoding:
+    def test_audited_decorator_is_decoded(self, tmp_path):
+        root = _write_pkg(tmp_path / "demo", {
+            "m.py": (
+                "from repro.analysis.annotations import audited\n\n\n"
+                '@audited("wall_clock", reason="test")\n'
+                "def f():\n    return 1\n"
+            ),
+        })
+        index = build_index(root)
+        assert index.functions["demo.m.f"].audit == ("wall_clock",)
+
+    def test_pure_decorator_is_decoded(self, tmp_path):
+        root = _write_pkg(tmp_path / "demo", {
+            "m.py": (
+                "from repro.analysis.annotations import pure\n\n\n"
+                "@pure\n"
+                "def f():\n    return 1\n"
+            ),
+        })
+        index = build_index(root)
+        assert index.functions["demo.m.f"].audit == ("*",)
+
+    def test_unrelated_decorator_is_not_an_audit(self, tmp_path):
+        root = _write_pkg(tmp_path / "demo", {
+            "m.py": (
+                "import functools\n\n\n"
+                "@functools.lru_cache\n"
+                "def f():\n    return 1\n"
+            ),
+        })
+        index = build_index(root)
+        assert index.functions["demo.m.f"].audit is None
+
+
+class TestArtifact:
+    def test_jsonable_roundtrip(self, tmp_path):
+        root = _write_pkg(tmp_path / "demo", {
+            "jobs.py": '_REGISTRY = {"a.b": "demo.t:fn"}\n',
+            "t.py": (
+                "import time\n\n\n"
+                "def fn(config, seed):\n    return time.time()\n"
+            ),
+        })
+        index = build_index(root)
+        clone = ProgramIndex.from_jsonable(index.to_jsonable())
+        assert clone.digest == index.digest
+        assert set(clone.functions) == set(index.functions)
+        assert clone.job_registry() == index.job_registry()
+        assert (
+            clone.functions["demo.t.fn"].effects
+            == index.functions["demo.t.fn"].effects
+        )
+
+    def test_cache_hit_and_schema(self, tmp_path):
+        import json
+
+        root = _write_pkg(tmp_path / "demo", {"a.py": "X = 1\n"})
+        cache = tmp_path / "cg"
+        _, from_cache = load_or_build_index(root, cache)
+        assert not from_cache
+        _, from_cache = load_or_build_index(root, cache)
+        assert from_cache
+        (artifact,) = cache.glob("callgraph_*.json")
+        assert json.loads(artifact.read_text())["schema"] == CALLGRAPH_SCHEMA

@@ -70,3 +70,52 @@ class TestDefaultSuite:
         document = json.loads(capsys.readouterr().out)
         assert code == 0
         assert document["counts"]["error"] == 0
+
+
+class TestWholeProgramMode:
+    BROKEN = FIXTURES / "whole_program" / "eqx401_nondet_job"
+
+    def test_real_tree_is_clean_with_coverage_floor(self, capsys):
+        code = main([
+            "whole-program", "--min-jobs", "3", "--min-kernels", "5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "jobs covered:" in out
+        assert "kernel pairs covered:" in out
+
+    def test_json_document_carries_coverage(self, capsys):
+        code = main(["whole-program", "--format", "json"])
+        document = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert document["schema"] == "repro.analysis/diagnostics/v1"
+        coverage = document["coverage"]
+        assert coverage["jobs_covered"] == len(coverage["jobs"])
+        assert coverage["kernels_covered"] == len(coverage["kernels"])
+
+    def test_broken_fixture_fails_the_gate(self, capsys):
+        code = main(["whole-program", str(self.BROKEN), "--format", "json"])
+        document = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert {d["rule_id"] for d in document["diagnostics"]} == {"EQX401"}
+
+    def test_coverage_gate_failure_is_eqx404(self, capsys):
+        code = main([
+            "whole-program", str(self.BROKEN),
+            "--ignore", "EQX401", "--min-jobs", "99",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "EQX404" in out
+        assert "coverage gate" in out
+
+    def test_cache_dir_round_trip(self, capsys, tmp_path):
+        cache = str(tmp_path / "cg")
+        assert main([
+            "whole-program", str(self.BROKEN), "--cache-dir", cache,
+        ]) == 1
+        capsys.readouterr()
+        assert main([
+            "whole-program", str(self.BROKEN), "--cache-dir", cache,
+        ]) == 1
+        assert "cached call graph" in capsys.readouterr().out

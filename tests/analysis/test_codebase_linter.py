@@ -61,14 +61,75 @@ class TestSuppression:
         )
         assert "EQX301" in _ids(lint_source(source, path=CORE_PATH))
 
+    def test_disable_alias_targeted(self):
+        source = (
+            "import numpy as np\n\n"
+            "ACC = np.float64(0.0)  # eqx: disable=EQX301\n"
+        )
+        assert lint_source(source, path=CORE_PATH) == []
+
+    def test_disable_alias_blanket(self):
+        source = "import numpy as np\n\nACC = np.float64(0.0)  # eqx: disable\n"
+        assert lint_source(source, path=CORE_PATH) == []
+
+    MULTI = (
+        "import time\n"
+        "import numpy as np\n\n"
+        "X = np.float64(time.time()){comment}\n"
+    )
+
+    def test_multi_rule_line_partial_suppression(self):
+        source = self.MULTI.format(comment="  # eqx: disable=EQX301")
+        assert _ids(lint_source(source, path=SIM_PATH)) == ["EQX302"]
+
+    def test_multi_rule_line_full_suppression(self):
+        source = self.MULTI.format(comment="  # eqx: disable=EQX301,EQX302")
+        assert lint_source(source, path=SIM_PATH) == []
+
+    def test_multi_rule_line_unsuppressed(self):
+        source = self.MULTI.format(comment="")
+        assert _ids(lint_source(source, path=SIM_PATH)) == ["EQX301", "EQX302"]
+
 
 class TestNondeterminism:
     def test_eqx302_wall_clock(self):
         source = "import time\n\n\ndef now():\n    return time.time()\n"
         assert "EQX302" in _ids(lint_source(source, path=SIM_PATH))
 
-    def test_rule_scoped_to_deterministic_packages(self):
+    def test_wall_clock_warns_outside_deterministic_packages(self):
         source = "import time\n\n\ndef now():\n    return time.time()\n"
+        diags = lint_source(source, path=EVAL_PATH)
+        assert _ids(diags) == ["EQX302"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_wall_clock_allowed_in_audited_modules(self):
+        source = "import time\n\n\ndef now():\n    return time.time()\n"
+        for path in (
+            "src/repro/exec/bench.py",
+            "src/repro/obs/profile.py",
+            "src/repro/exec/tasks.py",
+            "src/repro/__main__.py",
+        ):
+            assert lint_source(source, path=path) == []
+
+    def test_uuid_error_inside_warning_outside(self):
+        source = "import uuid\n\nRUN_ID = uuid.uuid4()\n"
+        strict = lint_source(source, path=SIM_PATH)
+        assert _ids(strict) == ["EQX302"]
+        assert strict[0].severity is Severity.ERROR
+        loose = lint_source(source, path=EVAL_PATH)
+        assert _ids(loose) == ["EQX302"]
+        assert loose[0].severity is Severity.WARNING
+
+    def test_bare_uuid4_import_is_caught(self):
+        source = "from uuid import uuid4\n\nRUN_ID = uuid4()\n"
+        assert "EQX302" in _ids(lint_source(source, path=EVAL_PATH))
+
+    def test_unseeded_rng_stays_scoped_to_deterministic_packages(self):
+        # Tree-wide the extension covers clocks and uuids only: kernel
+        # implementations legitimately default an absent rng argument
+        # with np.random.default_rng().
+        source = "import numpy as np\n\nRNG = np.random.default_rng()\n"
         assert lint_source(source, path=EVAL_PATH) == []
 
     def test_eqx302_unseeded_generator(self):

@@ -1,0 +1,174 @@
+"""The effect lattice: per-function source detection and the
+interprocedural fixed point with witness chains."""
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.effects import (
+    EFFECTS,
+    NONDETERMINISM_EFFECTS,
+    STATE_EFFECTS,
+    detect_effects,
+    propagate,
+)
+
+IMPORTS = {
+    "time": "time",
+    "os": "os",
+    "np": "numpy",
+    "uuid": "uuid",
+    "threading": "threading",
+    "subprocess": "subprocess",
+}
+
+
+def _detect(body: str) -> Dict[str, Tuple[int, str]]:
+    tree = ast.parse(f"def f():\n{body}")
+    return detect_effects(tree.body[0], IMPORTS)
+
+
+class TestDetection:
+    def test_wall_clock(self):
+        assert "wall_clock" in _detect("    return time.time()")
+        assert "wall_clock" in _detect("    time.sleep(1)")
+
+    def test_unseeded_rng(self):
+        assert "unseeded_rng" in _detect(
+            "    return np.random.default_rng()"
+        )
+        assert "unseeded_rng" in _detect("    return uuid.uuid4()")
+
+    def test_seeded_rng_is_clean(self):
+        assert _detect("    return np.random.default_rng(42)") == {}
+
+    def test_env_read_call_and_subscript(self):
+        assert "env_read" in _detect("    return os.getenv('X')")
+        assert "env_read" in _detect("    return os.environ['X']")
+
+    def test_id_value(self):
+        assert "id_value" in _detect("    return id(object())")
+
+    def test_thread(self):
+        assert "thread" in _detect(
+            "    return threading.Thread(target=print)"
+        )
+
+    def test_set_iteration_order(self):
+        assert "set_order" in _detect(
+            "    return [x for x in {1, 2, 3}]"
+        )
+        assert "set_order" in _detect(
+            "    for x in set(range(3)):\n        pass"
+        )
+
+    def test_list_iteration_is_clean(self):
+        assert _detect("    return [x for x in [1, 2, 3]]") == {}
+
+    def test_fs_order_and_sorted_neutralization(self):
+        assert "fs_order" in _detect("    return list(path.iterdir())")
+        assert _detect("    return sorted(path.iterdir())") == {}
+
+    def test_io(self):
+        assert "io" in _detect("    return open('x').read()")
+        assert "io" in _detect("    return path.read_text()")
+
+    def test_process(self):
+        assert "process" in _detect("    return subprocess.run(['ls'])")
+        assert "process" in _detect("    os._exit(1)")
+
+    def test_first_occurrence_wins(self):
+        found = _detect(
+            "    a = time.time()\n    b = time.monotonic()\n    return a + b"
+        )
+        assert found["wall_clock"] == (2, "time.time()")
+
+    def test_vocabulary_is_partitioned(self):
+        assert NONDETERMINISM_EFFECTS.isdisjoint(STATE_EFFECTS)
+        assert (NONDETERMINISM_EFFECTS | STATE_EFFECTS) == set(EFFECTS)
+
+
+@dataclass
+class _Fn:
+    """FunctionRecord-shaped stub (calls/effects/audit are the
+    propagation contract)."""
+
+    calls: List[str] = field(default_factory=list)
+    effects: Dict[str, Tuple[int, str]] = field(default_factory=dict)
+    audit: Optional[Tuple[str, ...]] = None
+
+
+class TestPropagation:
+    def test_effects_flow_up_call_chains(self):
+        summary = propagate({
+            "m.a": _Fn(calls=["m.b"]),
+            "m.b": _Fn(calls=["m.c"]),
+            "m.c": _Fn(effects={"wall_clock": (7, "time.time()")}),
+        })
+        assert summary.effects_of("m.a") == {"wall_clock"}
+        assert summary.effects_of("m.b") == {"wall_clock"}
+
+    def test_witness_renders_the_chain_to_the_source(self):
+        summary = propagate({
+            "m.a": _Fn(calls=["m.b"]),
+            "m.b": _Fn(effects={"wall_clock": (7, "time.time()")}),
+        })
+        witness = summary.witness("m.a", "wall_clock")
+        assert witness == "m.a -> m.b: time.time() at line 7"
+
+    def test_audit_silences_the_audited_effect_only(self):
+        summary = propagate({
+            "m.a": _Fn(calls=["m.b"]),
+            "m.b": _Fn(
+                effects={
+                    "wall_clock": (1, "time.time()"),
+                    "env_read": (2, "os.environ"),
+                },
+                audit=("wall_clock",),
+            ),
+        })
+        assert summary.effects_of("m.a") == {"env_read"}
+
+    def test_pure_marker_silences_everything(self):
+        summary = propagate({
+            "m.a": _Fn(calls=["m.b"]),
+            "m.b": _Fn(
+                effects={
+                    "wall_clock": (1, "time.time()"),
+                    "io": (2, "open()"),
+                },
+                audit=("*",),
+            ),
+        })
+        assert summary.effects_of("m.a") == set()
+        assert summary.effects_of("m.b") == set()
+
+    def test_audit_does_not_mask_the_callers_own_sources(self):
+        summary = propagate({
+            "m.a": _Fn(
+                calls=["m.b"],
+                effects={"io": (3, "open()")},
+            ),
+            "m.b": _Fn(
+                effects={"wall_clock": (1, "time.time()")},
+                audit=("*",),
+            ),
+        })
+        assert summary.effects_of("m.a") == {"io"}
+
+    def test_recursion_terminates(self):
+        summary = propagate({
+            "m.a": _Fn(calls=["m.b"]),
+            "m.b": _Fn(
+                calls=["m.a"],
+                effects={"wall_clock": (1, "time.time()")},
+            ),
+        })
+        assert summary.effects_of("m.a") == {"wall_clock"}
+
+    def test_jsonable_drops_clean_functions(self):
+        summary = propagate({
+            "m.clean": _Fn(),
+            "m.dirty": _Fn(effects={"io": (1, "open()")}),
+        })
+        assert summary.to_jsonable() == {"m.dirty": ["io"]}
