@@ -85,14 +85,48 @@ def _run_one(name: str, loads, report_dir=None, executor=None) -> None:
     started = time.time()
     if report_dir is not None:
         from repro.eval.runner import capture_run
+        from repro.state.signals import ShutdownRequested
 
         with capture_run(name) as capture:
-            result = module.run(**kwargs)
+            _install_capture_checkpoint(executor, name, capture)
+            try:
+                result = module.run(**kwargs)
+            except ShutdownRequested:
+                # Final barrier on the way out: persist the capture and
+                # flush what was measured so far as a *partial* artifact
+                # — marked as such, never confused with a complete run.
+                _save_capture_checkpoint(executor, name, capture)
+                _write_artifact(
+                    capture.build_report(config={"partial": True}),
+                    report_dir,
+                )
+                raise
+            finally:
+                if executor is not None:
+                    executor.set_checkpoint_cb(None)
         _write_artifact(capture.build_report(), report_dir)
     else:
         result = module.run(**kwargs)
     print(module.render(result))
     print(f"\n[{name} completed in {time.time() - started:.1f}s]\n")
+
+
+def _install_capture_checkpoint(executor, name: str, capture) -> None:
+    """Make the executor's periodic barrier snapshot this experiment's
+    capture (lossless, mergeable state) under ``capture.<name>``."""
+    if executor is None or executor.checkpoint_store is None:
+        return
+    executor.set_checkpoint_cb(
+        lambda: _save_capture_checkpoint(executor, name, capture)
+    )
+
+
+def _save_capture_checkpoint(executor, name: str, capture) -> None:
+    if executor is None or executor.checkpoint_store is None:
+        return
+    executor.checkpoint_store.save(
+        f"capture.{name}", capture.state_dict(), step=capture.windows
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -201,6 +235,33 @@ def main(argv=None) -> int:
 
     exec_cli.apply_kernel_backend(args)
 
+    # SIGINT/SIGTERM unwind through ShutdownRequested at the next job
+    # boundary (after its journal append): final checkpoint + partial
+    # artifact flush happen on the way out, then the process exits with
+    # the conventional 128+signum code and a named reason — never a
+    # traceback.
+    from repro.state.signals import GracefulShutdown, ShutdownRequested
+
+    with GracefulShutdown() as shutdown:
+        try:
+            return _dispatch(args, shutdown)
+        except ShutdownRequested as request:
+            hint = (
+                " — restart with --resume to continue"
+                if getattr(args, "checkpoint_dir", None) is not None
+                else ""
+            )
+            print(
+                f"\n[shutdown] {request.signame} received: stopped at a "
+                f"journal-consistent job boundary{hint}",
+                file=sys.stderr,
+            )
+            return request.exit_code
+
+
+def _dispatch(args, shutdown) -> int:
+    from repro.exec import cli as exec_cli
+
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
             print(f"{name:8s} {EXPERIMENTS[name][1]}")
@@ -210,17 +271,12 @@ def main(argv=None) -> int:
 
         return analysis_cli.run(args)
     if args.command == "sweep":
-        from repro.exec import cli as exec_cli
-
-        return exec_cli.run_sweep(args)
+        return exec_cli.run_sweep(args, shutdown=shutdown)
     if args.command == "bench":
-        from repro.exec import cli as exec_cli
-
         return exec_cli.run_bench(args)
     if args.command == "chaos":
         # Imported lazily: chaos pulls in the cluster layer, which the
         # experiment subcommands never need.
-        from repro.exec import cli as exec_cli
         from repro.faults import chaos as chaos_mod
 
         kwargs = {}
@@ -230,7 +286,7 @@ def main(argv=None) -> int:
             kwargs["requests"] = args.requests
         if args.seed is not None:
             kwargs["seed"] = args.seed
-        executor = exec_cli.runner_from_args(args)
+        executor = exec_cli.runner_from_args(args, shutdown=shutdown)
         if executor is not None:
             kwargs["executor"] = executor
         started = time.time()
@@ -249,7 +305,7 @@ def main(argv=None) -> int:
     names = (
         sorted(EXPERIMENTS) if args.command == "all" else [args.command]
     )
-    executor = exec_cli.runner_from_args(args)
+    executor = exec_cli.runner_from_args(args, shutdown=shutdown)
     for name in names:
         _run_one(
             name, args.loads, report_dir=args.report_dir, executor=executor

@@ -53,8 +53,10 @@ __all__ = [
     "tree_digest",
 ]
 
-#: Schema id embedded in the cached artifact.
-CALLGRAPH_SCHEMA = "repro.analysis/callgraph/v1"
+#: Schema id embedded in the cached artifact. v2 added per-class facts
+#: (def line, resolved attribute/base classes, mutation sites, frozen
+#: flag) and checkpoint-root tables for the EQX406 snapshot rule.
+CALLGRAPH_SCHEMA = "repro.analysis/callgraph/v2"
 
 #: Qualified decorator names the analyzer recognizes as audit marks.
 PURE_DECORATORS = ("repro.analysis.annotations.pure",)
@@ -121,6 +123,13 @@ class ModuleRecord:
     functions: List[str] = field(default_factory=list)
     #: class name -> sorted method names
     classes: Dict[str, List[str]] = field(default_factory=dict)
+    #: class name -> structural facts for the snapshot-coverage rule:
+    #: {"line": def line, "frozen": frozen-dataclass flag,
+    #:  "bases": resolved base qualnames (rendered name as fallback),
+    #:  "attrs": {attr -> class qualname assigned in __init__},
+    #:  "mutations": [[method, attr, line], ...] self-attr writes
+    #:  outside __init__ (the evidence the class is stateful)}
+    class_info: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: suppressed lines: line -> rule ids (empty list = all rules)
     suppressions: Dict[int, List[str]] = field(default_factory=dict)
     #: job registries found here: fn_id -> "module:function"
@@ -128,6 +137,8 @@ class ModuleRecord:
     #: kernel pairs registered here:
     #: name -> {"reference": qualname, "fast": qualname, "line": int}
     kernel_pairs: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: checkpoint roots declared here: root_id -> "module:Class"
+    checkpoint_roots: Dict[str, str] = field(default_factory=dict)
 
     def to_jsonable(self) -> Dict[str, Any]:
         return {
@@ -135,6 +146,9 @@ class ModuleRecord:
             "path": self.path,
             "functions": list(self.functions),
             "classes": {k: list(v) for k, v in sorted(self.classes.items())},
+            "class_info": {
+                k: dict(v) for k, v in sorted(self.class_info.items())
+            },
             "suppressions": {
                 str(line): list(ids)
                 for line, ids in sorted(self.suppressions.items())
@@ -143,6 +157,7 @@ class ModuleRecord:
             "kernel_pairs": {
                 k: dict(v) for k, v in sorted(self.kernel_pairs.items())
             },
+            "checkpoint_roots": dict(sorted(self.checkpoint_roots.items())),
         }
 
     @classmethod
@@ -152,12 +167,16 @@ class ModuleRecord:
             path=data["path"],
             functions=list(data["functions"]),
             classes={k: list(v) for k, v in data["classes"].items()},
+            class_info={
+                k: dict(v) for k, v in data.get("class_info", {}).items()
+            },
             suppressions={
                 int(line): list(ids)
                 for line, ids in data["suppressions"].items()
             },
             job_registry=dict(data["job_registry"]),
             kernel_pairs={k: dict(v) for k, v in data["kernel_pairs"].items()},
+            checkpoint_roots=dict(data.get("checkpoint_roots", {})),
         )
 
 
@@ -192,6 +211,42 @@ class ProgramIndex:
             record for qualname, record in sorted(self.functions.items())
             if qualname.rsplit(".", 1)[-1] == "merge_state"
         ]
+
+    def checkpoint_roots(self) -> Dict[str, str]:
+        """All checkpoint-root tables merged: root_id -> "module:Class"."""
+        merged: Dict[str, str] = {}
+        for module in self.modules.values():
+            merged.update(module.checkpoint_roots)
+        return dict(sorted(merged.items()))
+
+    def class_info(self, qualname: str) -> Optional[Dict[str, Any]]:
+        """Structural facts for a class qualname, if it is in the index."""
+        module_name, _, cls_name = qualname.rpartition(".")
+        module = self.modules.get(module_name)
+        if module is None:
+            return None
+        return module.class_info.get(cls_name)
+
+    def class_has_method(self, qualname: str, method: str) -> bool:
+        """Whether ``qualname`` defines ``method``, walking base classes
+        known to the index (MRO approximated breadth-first)."""
+        seen: Set[str] = set()
+        queue = [qualname]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            module_name, _, cls_name = current.rpartition(".")
+            module = self.modules.get(module_name)
+            if module is None:
+                continue
+            if method in module.classes.get(cls_name, []):
+                return True
+            info = module.class_info.get(cls_name)
+            if info is not None:
+                queue.extend(info.get("bases", []))
+        return False
 
     def suppressed(self, module: str, line: int, rule_id: str) -> bool:
         record = self.modules.get(module)
@@ -309,6 +364,8 @@ class _ModuleSymbols:
     functions: Dict[str, ast.AST] = field(default_factory=dict)
     #: class name -> (method name -> def node)
     classes: Dict[str, Dict[str, ast.AST]] = field(default_factory=dict)
+    #: class name -> its ClassDef node (line, decorators)
+    class_defs: Dict[str, ast.ClassDef] = field(default_factory=dict)
     #: class name -> base-class display names (unresolved)
     bases: Dict[str, List[str]] = field(default_factory=dict)
     #: class name -> {attr assigned in __init__ -> class expr rendering}
@@ -362,6 +419,7 @@ def _collect_symbols(
                 if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
                     methods[item.name] = item
             symbols.classes[node.name] = methods
+            symbols.class_defs[node.name] = node
             symbols.bases[node.name] = [
                 rendered for rendered in (
                     _render_dotted(base) for base in node.bases
@@ -380,6 +438,62 @@ def _render_dotted(node: ast.AST) -> Optional[str]:
         parts.append(node.id)
         return ".".join(reversed(parts))
     return None
+
+
+def _class_mutations(
+    methods: Dict[str, ast.AST],
+) -> List[List[Any]]:
+    """``self.attr = ...`` / ``self.attr += ...`` writes outside
+    ``__init__``: the static evidence a class carries mutable state.
+
+    Returns ``[[method, attr, line], ...]`` — first write per
+    ``(method, attr)`` pair, sorted — the witnesses EQX406 quotes.
+    Writes inside ``from_state`` are excluded: restoring *is* mutation,
+    and counting it would mark every correctly-snapshotable class
+    stateful through its own restore path.
+    """
+    out: Dict[Tuple[str, str], int] = {}
+    for method_name, node in methods.items():
+        if method_name in ("__init__", "from_state"):
+            continue
+        for stmt in ast.walk(node):
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = list(stmt.targets)
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                targets = [stmt.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    key = (method_name, target.attr)
+                    line = getattr(stmt, "lineno", 0)
+                    if key not in out or line < out[key]:
+                        out[key] = line
+    return [
+        [method, attr, line]
+        for (method, attr), line in sorted(out.items())
+    ]
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    """``@dataclass(frozen=True)`` (any import spelling of dataclass)."""
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        rendered = _render_dotted(decorator.func)
+        if rendered is None or rendered.rsplit(".", 1)[-1] != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "frozen"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
 
 
 def _init_attr_types(methods: Dict[str, ast.AST]) -> Dict[str, str]:
@@ -733,6 +847,37 @@ def _decode_job_registries(symbols: _ModuleSymbols) -> Dict[str, str]:
     return registry
 
 
+def _decode_checkpoint_roots(symbols: _ModuleSymbols) -> Dict[str, str]:
+    """Literal dicts named ``*CHECKPOINT_ROOTS*``: the root table the
+    EQX406 snapshot-coverage rule walks. Same static-decoding contract
+    as job registries — keep the table a literal of
+    ``root_id: "module:Class"`` entries or the rule goes blind."""
+    roots: Dict[str, str] = {}
+    for node in ast.walk(symbols.tree):
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and "CHECKPOINT_ROOTS" in target.id:
+                value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if (
+                isinstance(node.target, ast.Name)
+                and "CHECKPOINT_ROOTS" in node.target.id
+            ):
+                value = node.value
+        if isinstance(value, ast.Dict):
+            for key, val in zip(value.keys, value.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(val, ast.Constant)
+                    and isinstance(val.value, str)
+                    and ":" in val.value
+                ):
+                    roots[key.value] = val.value
+    return roots
+
+
 def _decode_kernel_pairs(
     symbols: _ModuleSymbols, resolver: _Resolver
 ) -> Dict[str, Dict[str, Any]]:
@@ -818,6 +963,7 @@ def build_index(root: Path) -> ProgramIndex:
             suppressions=_module_suppressions(symbols.source_lines),
             job_registry=_decode_job_registries(symbols),
             kernel_pairs=_decode_kernel_pairs(symbols, resolver),
+            checkpoint_roots=_decode_checkpoint_roots(symbols),
         )
         for fn_name, node in symbols.functions.items():
             qualname = f"{module_name}.{fn_name}"
@@ -827,6 +973,26 @@ def build_index(root: Path) -> ProgramIndex:
             record.functions.append(qualname)
         for cls_name, methods in symbols.classes.items():
             record.classes[cls_name] = sorted(methods)
+            class_def = symbols.class_defs[cls_name]
+            attrs: Dict[str, str] = {}
+            for attr, expr in sorted(symbols.attr_types[cls_name].items()):
+                qualified = resolver.qualify(symbols, expr)
+                if qualified in resolver.class_owners:
+                    attrs[attr] = qualified
+            record.class_info[cls_name] = {
+                "line": class_def.lineno,
+                "frozen": _is_frozen_dataclass(class_def),
+                "bases": sorted(
+                    qualified
+                    for qualified in (
+                        resolver.qualify(symbols, base)
+                        for base in symbols.bases[cls_name]
+                    )
+                    if qualified in resolver.class_owners
+                ),
+                "attrs": attrs,
+                "mutations": _class_mutations(methods),
+            }
             for method_name, node in methods.items():
                 qualname = f"{module_name}.{cls_name}.{method_name}"
                 index.functions[qualname] = _extract_function(

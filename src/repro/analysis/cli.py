@@ -73,6 +73,12 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "kernel pairs are covered by the call graph",
     )
     parser.add_argument(
+        "--min-checkpoint-roots", type=int, default=0,
+        help="whole-program mode: fail unless at least this many "
+        "checkpoint roots resolve to classes in the call graph "
+        "(the EQX406 snapshot rule's coverage floor)",
+    )
+    parser.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="report format (json for CI)",
     )
@@ -143,6 +149,11 @@ def collect_whole_program(
     for kind, covered, wanted in (
         ("job function", coverage["jobs_covered"], args.min_jobs),
         ("kernel pair", coverage["kernels_covered"], args.min_kernels),
+        (
+            "checkpoint root",
+            coverage["checkpoint_roots_covered"],
+            args.min_checkpoint_roots,
+        ),
     ):
         if covered < wanted:
             diags.append(diagnostic(

@@ -195,6 +195,16 @@ IMPURE_MERGE_STATE = _register(Rule(
     "(--jobs N) diverges from serial and the byte-identical artifact "
     "guarantee breaks.",
 ))
+ASYMMETRIC_SNAPSHOT = _register(Rule(
+    "EQX406", "asymmetric-snapshot", Severity.ERROR,
+    "A stateful class reachable from a checkpoint root "
+    "(repro.state.CHECKPOINT_ROOTS) is missing its to_state/from_state "
+    "pair, or carries only one side of it — a checkpoint taken through "
+    "that root silently drops (or cannot restore) the class's mutable "
+    "state, breaking the bit-exact resume contract. Config-only frozen "
+    "dataclasses are exempt; genuinely unsnapshotable classes must "
+    "raise SnapshotError from to_state instead of omitting it.",
+))
 
 
 def catalog() -> List[Rule]:

@@ -27,6 +27,16 @@ against the interprocedural effect summary of
   the worker→parent aggregation hand-off; any effect there lets a
   parallel run diverge from the serial one, breaking the ``--jobs N``
   byte-identical guarantee.
+* **EQX406 asymmetric-snapshot** — every stateful class reachable from
+  a checkpoint root (``repro.state.CHECKPOINT_ROOTS``, decoded
+  statically like the job registries) through ``__init__`` attribute
+  assignments and base classes must carry a *symmetric*
+  ``to_state``/``from_state`` pair: one side without the other, or
+  neither on a class that mutates ``self`` outside ``__init__``, means
+  a checkpoint through that root silently drops state and the
+  bit-exact resume contract is void. Frozen dataclasses (config-only
+  values) are exempt; classes that genuinely cannot snapshot must
+  still define ``to_state`` and raise ``SnapshotError`` from it.
 
 Escape hatch: audited sinks carry ``@pure``/``@audited`` annotations
 (:mod:`repro.analysis.annotations`), recognized statically; line-level
@@ -100,6 +110,13 @@ class WholeProgramReport:
                 resolved[side] = record.qualname if record else None
             kernels[name] = resolved
         merge_state = [r.qualname for r in self.index.merge_state_methods()]
+        roots: Dict[str, Optional[str]] = {}
+        for root_id, target in self.index.checkpoint_roots().items():
+            qualname = target.replace(":", ".")
+            roots[root_id] = (
+                qualname if self.index.class_info(qualname) is not None
+                else None
+            )
         return {
             "modules": len(self.index.modules),
             "functions": len(self.index.functions),
@@ -112,6 +129,8 @@ class WholeProgramReport:
                 if pair["reference"] and pair["fast"]
             ),
             "merge_state": merge_state,
+            "checkpoint_roots": roots,
+            "checkpoint_roots_covered": sum(1 for q in roots.values() if q),
             "digest": self.index.digest,
             "from_cache": self.from_cache,
         }
@@ -271,6 +290,88 @@ def _check_entry_point_coverage(index: ProgramIndex) -> List[Diagnostic]:
     return diags
 
 
+def _reachable_snapshot_classes(index: ProgramIndex) -> Dict[str, List[str]]:
+    """Class qualname -> sorted root ids it is reachable from.
+
+    Breadth-first over the static attribute graph: a class reaches the
+    classes its ``__init__`` assigns to ``self`` attributes, plus its
+    base classes (their state is the object's state too).
+    """
+    reached: Dict[str, set] = {}
+    for root_id, target in index.checkpoint_roots().items():
+        start = target.replace(":", ".")
+        queue = [start]
+        while queue:
+            current = queue.pop(0)
+            if root_id in reached.setdefault(current, set()):
+                continue
+            reached[current].add(root_id)
+            info = index.class_info(current)
+            if info is None:
+                continue
+            queue.extend(info.get("attrs", {}).values())
+            queue.extend(info.get("bases", []))
+    return {
+        qualname: sorted(roots) for qualname, roots in sorted(reached.items())
+    }
+
+
+def _check_snapshot_symmetry(index: ProgramIndex) -> List[Diagnostic]:
+    """EQX406: snapshot coverage over the checkpoint-root closure."""
+    diags: List[Diagnostic] = []
+    for qualname, roots in _reachable_snapshot_classes(index).items():
+        info = index.class_info(qualname)
+        module_name, _, cls_name = qualname.rpartition(".")
+        module = index.modules.get(module_name)
+        via = f"checkpoint root(s) {', '.join(repr(r) for r in roots)}"
+        if info is None or module is None:
+            # A root table entry pointing outside the call graph is the
+            # same soundness hole EQX404 guards registries against.
+            diags.append(rules.diagnostic(
+                rules.ASYMMETRIC_SNAPSHOT,
+                f"{qualname} is named by {via} but is outside the call "
+                f"graph — its snapshot contract is unverifiable",
+                file=module.path if module else None,
+                obj=qualname,
+            ))
+            continue
+        if info.get("frozen"):
+            continue  # immutable config value: nothing to snapshot
+        if index.suppressed(module_name, int(info["line"]), "EQX406"):
+            continue
+        has_to = index.class_has_method(qualname, "to_state")
+        has_from = index.class_has_method(qualname, "from_state")
+        if has_to and has_from:
+            continue
+        file, line = module.path, int(info["line"])
+        if has_to != has_from:
+            present, absent = (
+                ("to_state", "from_state") if has_to
+                else ("from_state", "to_state")
+            )
+            diags.append(rules.diagnostic(
+                rules.ASYMMETRIC_SNAPSHOT,
+                f"{qualname} (reachable from {via}) defines {present} "
+                f"but not {absent} — a one-sided snapshot contract can "
+                f"checkpoint state it cannot restore (or vice versa)",
+                file=file, line=line,
+            ))
+            continue
+        mutations = info.get("mutations", [])
+        if not mutations:
+            continue  # set up in __init__, never mutated: config-like
+        method, attr, mline = mutations[0]
+        diags.append(rules.diagnostic(
+            rules.ASYMMETRIC_SNAPSHOT,
+            f"{qualname} (reachable from {via}) mutates self.{attr} in "
+            f"{method}() (line {mline}) but defines neither to_state "
+            f"nor from_state — checkpoints through its root silently "
+            f"drop that state",
+            file=file, line=line,
+        ))
+    return diags
+
+
 def _check_merge_state(
     index: ProgramIndex, summary: EffectSummary
 ) -> List[Diagnostic]:
@@ -316,6 +417,7 @@ def analyze_tree(
     diagnostics.extend(_check_kernel_pairs(index))
     diagnostics.extend(_check_entry_point_coverage(index))
     diagnostics.extend(_check_merge_state(index, summary))
+    diagnostics.extend(_check_snapshot_symmetry(index))
     diagnostics.sort(key=lambda d: (
         d.location.file or "", d.location.line or 0, d.rule_id,
     ))
@@ -336,5 +438,8 @@ def coverage_lines(coverage: Dict[str, Any]) -> List[str]:
         f"{len(coverage['kernels'])} "
         f"({', '.join(sorted(coverage['kernels']))})",
         f"merge_state implementations: {len(coverage['merge_state'])}",
+        f"checkpoint roots covered: {coverage['checkpoint_roots_covered']}/"
+        f"{len(coverage['checkpoint_roots'])} "
+        f"({', '.join(sorted(coverage['checkpoint_roots']))})",
     ]
     return lines

@@ -16,8 +16,8 @@ recorded in a :class:`RoundCheckpoint`, so a re-run after a crash
 resumes without re-simulating the survivors.
 """
 
-from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.parameter_server import ParameterServer, SyncRound
 from repro.core.equinox import EquinoxAccelerator
@@ -33,6 +33,7 @@ from repro.models.graph import ModelSpec
 from repro.models.lstm import deepbench_lstm
 from repro.models.training import build_training_plan
 from repro.obs.report import RunReport
+from repro.state.checkpoint import CheckpointStore
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,25 @@ class RoundCheckpoint:
             if report.worker_id == worker_id:
                 return report
         return None
+
+    def to_state(self) -> Dict[str, Any]:
+        """Snapshot (``repro.state`` contract): the whole checkpoint is
+        plain measured data, so its state is its dict form."""
+        return {
+            "seed": self.seed,
+            "loads": list(self.loads),
+            "reports": [asdict(report) for report in self.reports],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "RoundCheckpoint":
+        return cls(
+            seed=int(state["seed"]),
+            loads=tuple(float(load) for load in state["loads"]),
+            reports=tuple(
+                WorkerReport(**report) for report in state["reports"]
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -244,6 +264,7 @@ class EquinoxFleet:
         seed: int = 0,
         local_steps: int = 1,
         resume_from: Optional[RoundCheckpoint] = None,
+        checkpoint_store: Optional["CheckpointStore"] = None,
     ) -> FleetReport:
         """Measure every worker at its load and compose the rounds.
 
@@ -259,6 +280,13 @@ class EquinoxFleet:
                 measured there are reused instead of re-simulated
                 (counted ``round_restores``). The checkpoint must come
                 from the same ``seed`` and ``loads``.
+            checkpoint_store: Crash-consistent persistence
+                (:class:`repro.state.CheckpointStore`): every completed
+                worker measurement is atomically written under the
+                ``fleet`` kind, and — when ``resume_from`` is not given
+                — a stored checkpoint matching this ``seed``/``loads``
+                is picked up automatically, so a killed ``train`` call
+                re-run with the same store resumes where it died.
 
         Crashed workers (per the fault plan) drop out of the round; the
         survivors aggregate partially as long as ``min_workers`` of
@@ -272,6 +300,14 @@ class EquinoxFleet:
         if local_steps < 1:
             raise ValueError("local_steps must be positive")
         loads_key = tuple(float(load) for load in loads)
+        if resume_from is None and checkpoint_store is not None:
+            stored = checkpoint_store.load("fleet")
+            if stored is not None:
+                candidate = RoundCheckpoint.from_state(stored["state"])
+                # A stored checkpoint from a different campaign is not
+                # an error — it is simply not resumable here.
+                if candidate.seed == seed and candidate.loads == loads_key:
+                    resume_from = candidate
         if resume_from is not None:
             if resume_from.seed != seed or resume_from.loads != loads_key:
                 raise ValueError(
@@ -301,6 +337,11 @@ class EquinoxFleet:
             self.last_checkpoint = RoundCheckpoint(
                 seed=seed, loads=loads_key, reports=tuple(workers)
             )
+            if checkpoint_store is not None:
+                checkpoint_store.save(
+                    "fleet", self.last_checkpoint.to_state(),
+                    step=worker_id + 1,
+                )
         if len(workers) < self.min_workers:
             raise ValueError(
                 f"only {len(workers)} worker(s) survived the round "
@@ -341,6 +382,37 @@ class EquinoxFleet:
             fleet_training_top_s=fleet_top_s,
             dedicated_top_s=self.plan.dedicated_throughput_top_s(),
             faults=self.fault_counters.snapshot(),
+        )
+
+    def to_state(self) -> Dict[str, Any]:
+        """Snapshot (``repro.state`` contract): the fault tallies, the
+        injector's stream positions and the round checkpoint. The
+        sizing/model/server attributes are constructor config."""
+        return {
+            "fault_counters": self.fault_counters.to_state(),
+            "fault_injector": (
+                self.fault_injector.to_state()
+                if self.fault_injector is not None else None
+            ),
+            "last_checkpoint": (
+                self.last_checkpoint.to_state()
+                if self.last_checkpoint is not None else None
+            ),
+        }
+
+    def from_state(self, state: Dict[str, Any]) -> None:
+        """Restore onto a fleet constructed with identical config."""
+        self.fault_counters.from_state(state["fault_counters"])
+        if state["fault_injector"] is not None:
+            if self.fault_injector is None:
+                raise ValueError(
+                    "snapshot carries fault-injector state but this "
+                    "fleet has no fault plan"
+                )
+            self.fault_injector.from_state(state["fault_injector"])
+        self.last_checkpoint = (
+            RoundCheckpoint.from_state(state["last_checkpoint"])
+            if state["last_checkpoint"] is not None else None
         )
 
     def run_report(self, fleet_report: FleetReport, name: str) -> RunReport:

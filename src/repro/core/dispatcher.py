@@ -16,7 +16,8 @@ keeps that stream flowing even while an inference batch executes.
 
 from bisect import insort
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from dataclasses import asdict
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.analysis.program_verifier import raise_on_errors, verify_program
 from repro.core.batching import BatchingPolicy
@@ -30,7 +31,7 @@ from repro.hw.isa import Program
 from repro.hw.mmu import MatrixMultiplyUnit
 from repro.hw.simd import SIMDUnit
 from repro.obs.spans import SpanTracer
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Event, Simulator, SnapshotError
 from repro.sim.stats import LatencyStats
 
 #: SIMD-unit queue priorities (the vector unit is far from saturated,
@@ -231,6 +232,37 @@ class RequestDispatcher:
             "request_retries": float(self.request_retries),
         }
 
+    def to_state(self) -> Dict[str, Any]:
+        """Snapshot (``repro.state`` contract), at formation quiescence.
+
+        A request sitting in the formation buffer carries live deadline
+        and timeout events whose exact ``(time, seq)`` slots cannot be
+        re-created by re-arming — so a snapshot with buffered requests
+        would not be bit-exact and is refused. Snapshot after
+        :meth:`flush` (the run boundary), where only the id cursors and
+        tallies remain.
+        """
+        if self._buffer or self._timeout_events:
+            raise SnapshotError(
+                f"dispatcher holds {len(self._buffer)} buffered request(s) "
+                f"and {len(self._timeout_events)} armed timeout(s); "
+                "snapshot at a run boundary (after flush)"
+            )
+        return {
+            "next_batch_id": self._next_batch_id,
+            "next_request_id": self._next_request_id,
+            "batches_formed": self.batches_formed,
+            "incomplete_batches": self.incomplete_batches,
+            "requests_submitted": self.requests_submitted,
+        }
+
+    def from_state(self, state: Dict[str, Any]) -> None:
+        self._next_batch_id = int(state["next_batch_id"])
+        self._next_request_id = int(state["next_request_id"])
+        self.batches_formed = int(state["batches_formed"])
+        self.incomplete_batches = int(state["incomplete_batches"])
+        self.requests_submitted = int(state["requests_submitted"])
+
 
 class InferenceEngine:
     """Walks inference batch programs through the datapath models."""
@@ -346,6 +378,30 @@ class InferenceEngine:
             self.on_batch_complete()
         self._try_start()
 
+    def to_state(self) -> Dict[str, Any]:
+        """Snapshot (``repro.state`` contract), at execution quiescence.
+
+        An in-flight batch is a chain of step closures threaded through
+        the MMU/SIMD queues — unserializable — so a snapshot with work
+        in flight is refused; snapshot at a run boundary.
+        """
+        if self._inflight or self._queue:
+            raise SnapshotError(
+                f"inference engine has {self._inflight} batch(es) in "
+                f"flight and {len(self._queue)} queued; snapshot at a "
+                "run boundary"
+            )
+        return {
+            "latency": self.latency.to_state(),
+            "batches_completed": self.batches_completed,
+            "requests_completed": self.requests_completed,
+        }
+
+    def from_state(self, state: Dict[str, Any]) -> None:
+        self.latency = LatencyStats.from_state(state["latency"])
+        self.batches_completed = int(state["batches_completed"])
+        self.requests_completed = int(state["requests_completed"])
+
 
 class TrainingEngine:
     """Streams endless training iterations into idle issue slots.
@@ -389,6 +445,7 @@ class TrainingEngine:
         self.iterations: List[TrainingIterationRecord] = []
         self.jobs_issued = 0
         self._started = False
+        self._paused = False
         # Pipeline state.
         self._exec_step = 0  # step whose jobs may enter the MMU queue
         self._exec_jobs_done = 0
@@ -423,6 +480,25 @@ class TrainingEngine:
         shrinks or a batch completes — the spike may have subsided)."""
         if self._started:
             self._maybe_issue()
+            self.mmu.pump()
+
+    def pause(self) -> None:
+        """Stop feeding new work into the pipeline (quiesce prelude).
+
+        In-flight prefetches and issued jobs complete normally; nothing
+        new is staged or issued until :meth:`resume`. Once the last
+        in-flight closure lands the datapath drains — the state a
+        snapshot wants, since the snapshot contract restarts the
+        interrupted iteration anyway.
+        """
+        self._paused = True
+
+    def resume(self) -> None:
+        """Undo :meth:`pause` and wake the pipeline."""
+        self._paused = False
+        if self._started:
+            self._maybe_issue()
+            self._maybe_prefetch()
             self.mmu.pump()
 
     @property
@@ -462,6 +538,8 @@ class TrainingEngine:
         return None
 
     def _maybe_prefetch(self) -> None:
+        if self._paused:
+            return
         position = self._advance_cursor()
         if position is None:
             return
@@ -509,6 +587,8 @@ class TrainingEngine:
     # ------------------------------------------------------------------
 
     def _maybe_issue(self) -> None:
+        if self._paused:
+            return
         while self._staged:
             step_idx, job_idx = self._staged[0]
             if step_idx != self._exec_step:
@@ -643,3 +723,47 @@ class TrainingEngine:
         self._prefetch_outstanding = 0
         self._committed_step = -1
         self._maybe_prefetch()
+
+    # ------------------------------------------------------------------
+    # Snapshot (repro.state contract)
+    # ------------------------------------------------------------------
+
+    def to_state(self) -> Dict[str, Any]:
+        """Snapshot at **iteration granularity**.
+
+        The training service is an endless stream of identical
+        iterations (paper §5), so the documented restore point is an
+        iteration boundary: completed iterations and tallies are
+        captured exactly; the pipeline position *inside* the current
+        iteration (staged streams, in-flight prefetches — all HBM/MMU
+        closures) is not, and :meth:`from_state` restarts the
+        interrupted iteration from step 0, exactly the reset
+        ``_finish_iteration`` performs on the uninterrupted path.
+        """
+        return {
+            "started": self._started,
+            "jobs_issued": self.jobs_issued,
+            "iterations": [asdict(record) for record in self.iterations],
+        }
+
+    def from_state(self, state: Dict[str, Any]) -> None:
+        """Restore history and restart the current iteration's pipeline
+        (prefetch begins again from step 0 if the service was live)."""
+        self.iterations = [
+            TrainingIterationRecord(**record)
+            for record in state["iterations"]
+        ]
+        self.jobs_issued = int(state["jobs_issued"])
+        self._started = bool(state["started"])
+        self._exec_step = 0
+        self._exec_jobs_done = 0
+        self._prefetch_cursor = (0, 0)
+        self._staged = []
+        self._staged_bytes = 0.0
+        self._inflight_prefetch_bytes = 0.0
+        self._prefetch_outstanding = 0
+        self._committed_step = -1
+        self._iteration_start = self.sim.now
+        self._exec_step_started = self.sim.now
+        if self._started and self.scheduler.allows_training:
+            self._maybe_prefetch()

@@ -256,6 +256,110 @@ def pinned_kernels() -> Dict[str, Tuple[str, Callable[[], float]]]:
 
 
 # ----------------------------------------------------------------------
+# Checkpoint overhead
+#
+# The ``checkpoint`` section prices the crash-consistency machinery:
+# the same executor-backed design-space sweep is timed twice — once
+# bare, once with the journal + periodic checkpoint barrier at the
+# default ``--checkpoint-every`` — and the committed artifact records
+# the ratio. The acceptance budget is < 5% overhead: every journal
+# append is an fsync, so this entry is what keeps the barrier honest
+# as job granularity or journal format evolve.
+# ----------------------------------------------------------------------
+
+#: Pinned checkpoint workload: a Figure-7 load curve — the
+#: simulation-heavy experiment jobs the checkpoint machinery targets.
+#: Load grid and batch count are frozen so two BENCH files price the
+#: same journal traffic.
+_CHECKPOINT_LOADS = 12
+_CHECKPOINT_BATCHES = 8
+
+
+def _checkpoint_jobs() -> List[Any]:
+    from repro.exec.jobs import Job
+
+    return [
+        Job(
+            "eval.load_point",
+            {
+                "latency_class": "500us",
+                "encoding": "hbfp8",
+                "load": round(0.08 * (index + 1), 2),
+                "batches": _CHECKPOINT_BATCHES,
+            },
+            seed=1,
+        )
+        for index in range(_CHECKPOINT_LOADS)
+    ]
+
+
+def _checkpoint_run(checkpoint_dir: Optional[str] = None) -> float:
+    """One executor-backed load curve; checkpointed iff a dir is given.
+
+    Mirrors the real ``--checkpoint-dir`` path: journal append (flush +
+    fsync) per job, checkpoint save every ``DEFAULT_CHECKPOINT_EVERY``
+    executed jobs.
+    """
+    from repro.exec.cli import DEFAULT_CHECKPOINT_EVERY
+    from repro.exec.scheduler import JobRunner
+
+    runner = JobRunner(
+        jobs=1,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=(
+            DEFAULT_CHECKPOINT_EVERY if checkpoint_dir is not None else 0
+        ),
+    )
+    if runner.checkpoint_store is not None:
+        store, scheduler = runner.checkpoint_store, runner.scheduler
+        runner.set_checkpoint_cb(lambda: store.save(
+            "bench", {"executed": scheduler.counters["executed"]},
+            step=scheduler.counters["executed"],
+        ))
+    results = runner.map(_checkpoint_jobs())
+    return float(sum(r["requests_completed"] for r in results))
+
+
+def _checkpoint_overhead(repeats: int) -> Dict[str, Any]:
+    """Time the pinned load curve bare vs checkpointed
+    (best-of-repeats, interleaved so drift hits both arms equally)."""
+    import shutil
+    import tempfile
+
+    from repro.exec.cli import DEFAULT_CHECKPOINT_EVERY
+
+    work = _checkpoint_run()  # warmup: imports, simulator caches
+    plain: List[float] = []
+    checkpointed: List[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        _checkpoint_run()
+        plain.append(time.perf_counter() - started)
+        tmp = tempfile.mkdtemp(prefix="bench-ckpt-")
+        try:
+            started = time.perf_counter()
+            _checkpoint_run(tmp)
+            checkpointed.append(time.perf_counter() - started)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    plain_s = min(plain)
+    checkpointed_s = min(checkpointed)
+    return {
+        "description": (
+            f"fig7 load curve, {_CHECKPOINT_LOADS} jobs, journal + "
+            f"checkpoint every {DEFAULT_CHECKPOINT_EVERY}"
+        ),
+        "jobs": _CHECKPOINT_LOADS,
+        "checkpoint_every": DEFAULT_CHECKPOINT_EVERY,
+        "repeats": repeats,
+        "plain_s": plain_s,
+        "checkpointed_s": checkpointed_s,
+        "overhead": checkpointed_s / plain_s - 1.0,
+        "work": work,
+    }
+
+
+# ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
 
@@ -307,6 +411,8 @@ def run_suite(
     speedups = _speedups(timed)
     if speedups:
         document["speedups"] = speedups
+    if kernels is None:  # full-suite runs also price the checkpoint barrier
+        document["checkpoint"] = _checkpoint_overhead(repeats)
     return document
 
 
@@ -389,6 +495,35 @@ def validate_bench(data: Any) -> List[str]:
                         f"speedups.{name} needs finite positive "
                         "reference_s/fast_s/speedup"
                     )
+    checkpoint = data.get("checkpoint")
+    if checkpoint is not None:  # optional section, additive to schema v1
+        if not isinstance(checkpoint, dict):
+            problems.append("checkpoint must be an object when present")
+        else:
+            values = [
+                checkpoint.get(k) for k in ("plain_s", "checkpointed_s")
+            ]
+            if not all(
+                isinstance(v, (int, float)) and v == v and 0 < v < float("inf")
+                for v in values
+            ):
+                problems.append(
+                    "checkpoint needs finite positive plain_s/checkpointed_s"
+                )
+            overhead = checkpoint.get("overhead")
+            if not (
+                isinstance(overhead, (int, float))
+                and overhead == overhead
+                and -1.0 < overhead < float("inf")
+            ):
+                problems.append(
+                    "checkpoint.overhead must be a finite ratio > -1"
+                )
+            every = checkpoint.get("checkpoint_every")
+            if not isinstance(every, int) or every < 1:
+                problems.append(
+                    "checkpoint.checkpoint_every must be a positive int"
+                )
     return problems
 
 
@@ -450,4 +585,14 @@ def render_suite(document: Dict[str, Any]) -> str:
                 f"{record['fast_s'] * 1e3:>10.2f} "
                 f"{record['speedup']:>9.1f}x"
             )
+    checkpoint = document.get("checkpoint")
+    if checkpoint:
+        lines.append("")
+        lines.append(
+            f"checkpoint overhead: {checkpoint['overhead'] * 100:+.2f}% "
+            f"({checkpoint['plain_s'] * 1e3:.2f} ms bare vs "
+            f"{checkpoint['checkpointed_s'] * 1e3:.2f} ms with journal + "
+            f"checkpoint every {checkpoint['checkpoint_every']}, "
+            f"{checkpoint['jobs']} jobs)"
+        )
     return "\n".join(lines)

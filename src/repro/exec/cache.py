@@ -140,12 +140,39 @@ class ResultCache:
         return decode(payload_text)
 
     def _evict(self, path: Path, reason: str) -> Any:
-        """Drop a corrupt entry; the caller recomputes."""
+        """Drop a corrupt entry; the caller recomputes.
+
+        Guarded by an exclusive-create lock file so two processes
+        sharing a cache directory cannot race: without it, a slow
+        evictor could unlink an entry a concurrent writer *just*
+        recomputed and stored (classic check-then-act). The loser of
+        the ``O_CREAT | O_EXCL`` race skips the unlink and simply
+        reports a miss — recomputing costs time, never correctness.
+        No staleness timeout is kept on the lock (``repro`` never reads
+        the wall clock on these paths); an orphaned lock from a killed
+        process only suppresses future evictions of that one corrupt
+        entry, and the entry's verified read path still misses.
+        """
         self.stats.evictions += 1
+        lock_path = path.with_suffix(".evict.lock")
         try:
-            path.unlink()
+            fd = os.open(str(lock_path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            # Another process holds the eviction; treat as a miss.
+            return _MISS
         except OSError:
-            pass
+            return _MISS
+        try:
+            os.close(fd)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        finally:
+            try:
+                lock_path.unlink()
+            except OSError:
+                pass
         return _MISS
 
     # ------------------------------------------------------------------

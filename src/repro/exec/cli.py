@@ -15,11 +15,12 @@ Three pieces, all consumed by ``python -m repro``:
 import argparse
 import json
 import sys
-from typing import Optional
+from typing import Any, Optional
 
 from repro.exec.scheduler import JobRunner
 
 __all__ = [
+    "DEFAULT_CHECKPOINT_EVERY",
     "add_bench_arguments",
     "add_executor_arguments",
     "add_sweep_arguments",
@@ -28,6 +29,12 @@ __all__ = [
     "run_sweep",
     "runner_from_args",
 ]
+
+#: Default ``--checkpoint-every`` period (executed jobs between
+#: progress checkpoints). Chosen so checkpoint overhead stays well
+#: under the 5% budget the bench suite's ``checkpoint.overhead`` entry
+#: enforces, while a preempted sweep loses at most a few jobs' work.
+DEFAULT_CHECKPOINT_EVERY = 8
 
 
 # ----------------------------------------------------------------------
@@ -52,6 +59,32 @@ def add_executor_arguments(parser: argparse.ArgumentParser) -> None:
         "REPRO_KERNEL_BACKEND); backends are bit-identical by contract, "
         "so this changes speed, never results",
     )
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="crash-consistent run state: a completed-work journal "
+        "(fsynced per job) plus periodic checkpoint files; a killed run "
+        "restarted with --resume skips journaled jobs and converges to "
+        "the byte-identical artifact",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=DEFAULT_CHECKPOINT_EVERY,
+        metavar="N",
+        help="write a progress checkpoint every N executed jobs "
+        f"(default {DEFAULT_CHECKPOINT_EVERY}; 0 disables the periodic "
+        "barrier — the journal is still written per job)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay completed jobs from the --checkpoint-dir journal "
+        "instead of re-running them (without it, a fresh run discards "
+        "the previous journal)",
+    )
+    parser.add_argument(
+        "--kill-after", type=int, default=None, metavar="N",
+        help="crash-recovery drill: SIGKILL this process after exactly "
+        "N completed (journaled) jobs — CI uses it to prove --resume "
+        "converges to the byte-identical artifact",
+    )
 
 
 def apply_kernel_backend(args: argparse.Namespace) -> None:
@@ -69,14 +102,41 @@ def apply_kernel_backend(args: argparse.Namespace) -> None:
         kernels.set_backend(backend)
 
 
-def runner_from_args(args: argparse.Namespace) -> Optional[JobRunner]:
-    """A runner when ``--jobs``/``--cache-dir`` was given, else None
-    (experiments keep their historical in-process path)."""
+def runner_from_args(
+    args: argparse.Namespace, shutdown: Optional[Any] = None
+) -> Optional[JobRunner]:
+    """A runner when ``--jobs``/``--cache-dir``/``--checkpoint-dir``
+    was given, else None (experiments keep their historical in-process
+    path).
+
+    ``shutdown`` is the CLI's :class:`repro.state.GracefulShutdown`
+    instance; its ``check`` is polled between jobs so a SIGINT/SIGTERM
+    unwinds at a journal-consistent boundary. ``--kill-after`` arms a
+    :class:`repro.faults.killswitch.KillSwitch` on the same boundary
+    (the drill dies *after* the Nth journal append, never mid-write).
+    """
     jobs = getattr(args, "jobs", None)
     cache_dir = getattr(args, "cache_dir", None)
-    if jobs is None and cache_dir is None:
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if jobs is None and cache_dir is None and checkpoint_dir is None:
         return None
-    return JobRunner(jobs=jobs if jobs is not None else 1, cache_dir=cache_dir)
+    kill_after = getattr(args, "kill_after", None)
+    on_unit_done = None
+    if kill_after is not None:
+        from repro.faults.killswitch import KillSwitch
+
+        on_unit_done = KillSwitch(kill_after).note_unit_done
+    return JobRunner(
+        jobs=jobs if jobs is not None else 1,
+        cache_dir=cache_dir,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=getattr(
+            args, "checkpoint_every", DEFAULT_CHECKPOINT_EVERY
+        ),
+        resume=bool(getattr(args, "resume", False)),
+        shutdown_check=shutdown.check if shutdown is not None else None,
+        on_unit_done=on_unit_done,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -106,7 +166,9 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
     add_executor_arguments(parser)
 
 
-def run_sweep(args: argparse.Namespace) -> int:
+def run_sweep(
+    args: argparse.Namespace, shutdown: Optional[Any] = None
+) -> int:
     from repro.dse.explorer import DesignSpaceExplorer
     from repro.dse.pareto import pareto_frontier
     from repro.eval.fig6 import Fig6Result, render
@@ -115,7 +177,19 @@ def run_sweep(args: argparse.Namespace) -> int:
     if args.n_max < 1:
         print(f"--n-max must be >= 1, got {args.n_max}", file=sys.stderr)
         return 2
-    runner = runner_from_args(args) or JobRunner(jobs=1)
+    runner = runner_from_args(args, shutdown=shutdown) or JobRunner(jobs=1)
+    if runner.checkpoint_store is not None:
+        # Periodic barrier: persist sweep progress next to the journal.
+        # The journal alone carries the resume contract; the checkpoint
+        # is the cheap observable marker (how far did the run get?).
+        def _sweep_checkpoint() -> None:
+            counters = runner.counters
+            runner.checkpoint_store.save(
+                "sweep", {"counters": counters},
+                step=counters["executed"],
+            )
+
+        runner.set_checkpoint_cb(_sweep_checkpoint)
     clouds = {}
     frontiers = {}
     for encoding in args.encodings:
@@ -130,6 +204,7 @@ def run_sweep(args: argparse.Namespace) -> int:
     print(
         f"\n[exec: jobs={runner.jobs} executed={counters['executed']} "
         f"cache_hits={counters['cache_hits']} "
+        f"journal_hits={counters['journal_hits']} "
         f"retries={counters['retries']}]",
         file=sys.stderr,
     )

@@ -25,10 +25,16 @@ from collections import deque
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
 
 from repro.exec.cache import ResultCache
 from repro.exec.jobs import Job, run_job
+
+if TYPE_CHECKING:
+    # Only for annotations: a module-level runtime import would close a
+    # cycle (repro.exec.__init__ -> scheduler; repro.state.checkpoint ->
+    # repro.exec.canonical). JobRunner imports it lazily instead.
+    from repro.state.checkpoint import CompletionJournal
 
 __all__ = [
     "JobExecutionError",
@@ -86,6 +92,24 @@ class ProcessPoolScheduler:
             window is re-queued within the retry budget.
         max_retries: Infrastructure-failure budget *per job*.
         max_in_flight: Submission window (default ``4 × workers``).
+        journal: Optional completion journal
+            (:class:`repro.state.CompletionJournal`, duck-typed here to
+            keep the import graph acyclic). Consulted *before* the
+            cache — a journaled result is this exact run's durably
+            fsynced output — and appended after every execution, which
+            is the crash-consistency barrier: a job whose result made
+            the journal is never re-run on ``--resume``.
+        checkpoint_every: Invoke ``checkpoint_cb`` after every N
+            completed (executed, not cached/journaled) jobs; 0 disables.
+        checkpoint_cb: The periodic checkpoint barrier hook (e.g. flush
+            a partial RunReport).
+        shutdown_check: Polled between jobs; expected to raise (e.g.
+            :class:`repro.state.ShutdownRequested`) to stop cleanly at
+            a job boundary, after the journal append.
+        on_unit_done: Called once per completed job *after* its journal
+            append — the hook the crash-recovery drill's kill switch
+            counts work units on, so a SIGKILL always lands on a
+            journal-consistent state.
     """
 
     def __init__(
@@ -95,11 +119,20 @@ class ProcessPoolScheduler:
         timeout_s: Optional[float] = None,
         max_retries: int = DEFAULT_MAX_RETRIES,
         max_in_flight: Optional[int] = None,
+        journal: Optional["CompletionJournal"] = None,
+        checkpoint_every: int = 0,
+        checkpoint_cb: Optional[Callable[[], None]] = None,
+        shutdown_check: Optional[Callable[[], None]] = None,
+        on_unit_done: Optional[Callable[[], None]] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
         self.workers = workers
         self.cache = cache
         self.timeout_s = timeout_s
@@ -109,10 +142,16 @@ class ProcessPoolScheduler:
         )
         if self.max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1")
+        self.journal = journal
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_cb = checkpoint_cb
+        self.shutdown_check = shutdown_check
+        self.on_unit_done = on_unit_done
+        self._since_checkpoint = 0
         #: Faults-style counters: how the run degraded, never hidden.
         self.counters: Dict[str, int] = {
-            "executed": 0, "cache_hits": 0, "crashes": 0,
-            "timeouts": 0, "retries": 0,
+            "executed": 0, "cache_hits": 0, "journal_hits": 0,
+            "crashes": 0, "timeouts": 0, "retries": 0,
         }
 
     # ------------------------------------------------------------------
@@ -125,6 +164,12 @@ class ProcessPoolScheduler:
         results: List[Any] = [None] * len(jobs)
         todo: List[int] = []
         for index, job in enumerate(jobs):
+            if self.journal is not None:
+                key = job.digest()
+                if key in self.journal:
+                    results[index] = self.journal.get(key)
+                    self.counters["journal_hits"] += 1
+                    continue
             if self.cache is not None:
                 hit, value = self.cache.get(job)
                 if hit:
@@ -140,6 +185,25 @@ class ProcessPoolScheduler:
             self._run_pool(jobs, todo, results)
         return results
 
+    def _complete(self, job: Job, value: Any) -> None:
+        """Post-execution barrier, in crash-consistency order: journal
+        (durable) first, then cache (advisory), then the work-unit and
+        checkpoint hooks — so any interruption after this method began
+        either left no journal line (job re-runs) or a complete one
+        (job is skipped on resume)."""
+        self.counters["executed"] += 1
+        if self.journal is not None:
+            self.journal.append(job.digest(), value)
+        if self.cache is not None:
+            self.cache.put(job, value)
+        if self.on_unit_done is not None:
+            self.on_unit_done()
+        if self.checkpoint_every and self.checkpoint_cb is not None:
+            self._since_checkpoint += 1
+            if self._since_checkpoint >= self.checkpoint_every:
+                self._since_checkpoint = 0
+                self.checkpoint_cb()
+
     # ------------------------------------------------------------------
     # Serial fast path
     # ------------------------------------------------------------------
@@ -148,15 +212,15 @@ class ProcessPoolScheduler:
         self, jobs: Sequence[Job], todo: Sequence[int], results: List[Any]
     ) -> None:
         for index in todo:
+            if self.shutdown_check is not None:
+                self.shutdown_check()
             job = jobs[index]
             try:
                 value = _execute(job.fn_id, job.config, job.seed)
             except Exception as exc:
                 raise JobExecutionError(job, f"raised {exc!r}") from exc
-            self.counters["executed"] += 1
             results[index] = value
-            if self.cache is not None:
-                self.cache.put(job, value)
+            self._complete(job, value)
 
     # ------------------------------------------------------------------
     # Pool path
@@ -185,6 +249,8 @@ class ProcessPoolScheduler:
         pool = self._new_pool()
         try:
             while queue or inflight:
+                if self.shutdown_check is not None:
+                    self.shutdown_check()
                 while queue and len(inflight) < self.max_in_flight:
                     index = queue.popleft()
                     job = jobs[index]
@@ -217,10 +283,8 @@ class ProcessPoolScheduler:
                     raise JobExecutionError(
                         jobs[index], f"raised {exc!r}"
                     ) from exc
-                self.counters["executed"] += 1
                 results[index] = value
-                if self.cache is not None:
-                    self.cache.put(jobs[index], value)
+                self._complete(jobs[index], value)
         finally:
             self._kill_pool(pool)
 
@@ -274,18 +338,55 @@ class JobRunner:
         cache_dir: "str | os.PathLike[str] | None" = None,
         timeout_s: Optional[float] = None,
         max_retries: int = DEFAULT_MAX_RETRIES,
+        checkpoint_dir: "str | os.PathLike[str] | None" = None,
+        checkpoint_every: int = 0,
+        checkpoint_cb: Optional[Callable[[], None]] = None,
+        resume: bool = False,
+        shutdown_check: Optional[Callable[[], None]] = None,
+        on_unit_done: Optional[Callable[[], None]] = None,
     ):
         self.jobs = resolve_jobs(jobs)
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.journal = None
+        self.checkpoint_store = None
+        if checkpoint_dir is not None:
+            # Imported here, not at module level: repro.state.checkpoint
+            # imports repro.exec.canonical, whose package init imports
+            # this module — a top-level import would close the cycle.
+            from repro.state.checkpoint import CheckpointStore, CompletionJournal
+
+            journal_path = os.path.join(
+                os.fspath(checkpoint_dir), "journal.jsonl"
+            )
+            if not resume and os.path.exists(journal_path):
+                # A fresh (non-resuming) run must not silently reuse a
+                # previous campaign's completions.
+                os.unlink(journal_path)
+            self.journal = CompletionJournal(journal_path)
+            self.checkpoint_store = CheckpointStore(checkpoint_dir)
         self.scheduler = ProcessPoolScheduler(
             workers=self.jobs,
             cache=self.cache,
             timeout_s=timeout_s,
             max_retries=max_retries,
+            journal=self.journal,
+            checkpoint_every=checkpoint_every,
+            checkpoint_cb=checkpoint_cb,
+            shutdown_check=shutdown_check,
+            on_unit_done=on_unit_done,
         )
 
     def map(self, jobs: Sequence[Job]) -> List[Any]:
         return self.scheduler.run(jobs)
+
+    def set_checkpoint_cb(self, cb: Optional[Callable[[], None]]) -> None:
+        """(Re)bind the periodic checkpoint barrier hook.
+
+        Callers that only learn what to snapshot *after* building the
+        runner (e.g. an experiment's capture context) install the hook
+        here; it fires every ``checkpoint_every`` completed jobs.
+        """
+        self.scheduler.checkpoint_cb = cb
 
     @property
     def counters(self) -> Dict[str, int]:

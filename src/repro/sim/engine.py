@@ -7,8 +7,20 @@ timestamp execute in scheduling order, which keeps runs deterministic.
 """
 
 import heapq
-import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, List, Optional
+
+
+class SnapshotError(RuntimeError):
+    """Raised when live state cannot be captured (or restored) faithfully.
+
+    Defined here — the bottom of the import graph — and re-exported as
+    ``repro.state.SnapshotError``, which is the name everything above
+    the simulator uses. It is a *refusal*, not an internal failure: the
+    caller asked for a snapshot at a point where one would lie (e.g. an
+    unkeyed in-flight event whose closure cannot be serialized).
+    Snapshot at a quiescence point instead.
+    """
+
 
 #: Values :meth:`Simulator.run` returns to say why it stopped.
 STOP_DRAINED = "drained"
@@ -25,16 +37,30 @@ class Event:
     when cancelled entries outnumber live ones, so cancel-heavy
     workloads (watchdogs, speculative timeouts) keep O(live) memory
     instead of leaking every tombstone until drain.
+
+    ``key`` names the *callback*, not the event: a keyed event can be
+    serialized by :meth:`Simulator.to_state` and re-bound to the same
+    callback on restore. Unkeyed events are fine to schedule but make
+    the simulator refuse to snapshot while they are live.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "_sim")
+    __slots__ = ("time", "seq", "callback", "cancelled", "key", "_sim",
+                 "_recurring")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        key: Optional[str] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self.key = key
         self._sim: Optional["Simulator"] = None  # set while in the heap
+        self._recurring: Optional["RecurringEvent"] = None
 
     def cancel(self) -> None:
         """Prevent this event from firing."""
@@ -70,10 +96,19 @@ class Simulator:
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list = []
-        self._seq = itertools.count()
+        # An explicit counter (not itertools.count) so a snapshot can
+        # record and a restore can replay the exact sequence cursor —
+        # the (time, seq) order of future events is part of the
+        # bit-exact resume contract.
+        self._seq_next = 0
         self._events_processed = 0
         self._cancelled_in_heap = 0
         self._profiler: Optional[Any] = None
+
+    def _next_seq(self) -> int:
+        seq = self._seq_next
+        self._seq_next += 1
+        return seq
 
     @property
     def events_processed(self) -> int:
@@ -123,24 +158,35 @@ class Simulator:
         """
         self._profiler = profiler
 
-    def at(self, time: float, callback: Callable[[], None]) -> Event:
+    def at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        key: Optional[str] = None,
+    ) -> Event:
         """Schedule ``callback`` at absolute ``time``.
 
         Scheduling in the past raises ``ValueError``: components must
-        never rewind the clock.
+        never rewind the clock. ``key`` makes the event snapshotable
+        (see :meth:`to_state`).
         """
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} < now {self.now}")
-        event = Event(float(time), next(self._seq), callback)
+        event = Event(float(time), self._next_seq(), callback, key)
         event._sim = self
         heapq.heappush(self._heap, event)
         return event
 
-    def after(self, delay: float, callback: Callable[[], None]) -> Event:
+    def after(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        key: Optional[str] = None,
+    ) -> Event:
         """Schedule ``callback`` after a non-negative ``delay``."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        return self.at(self.now + delay, callback)
+        return self.at(self.now + delay, callback, key)
 
     def run(
         self, until: Optional[float] = None, max_events: Optional[int] = None
@@ -190,7 +236,10 @@ class Simulator:
         return stop
 
     def every(
-        self, interval: float, callback: Callable[[], None]
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        key: Optional[str] = None,
     ) -> "RecurringEvent":
         """Schedule ``callback`` every ``interval`` cycles until cancelled.
 
@@ -202,7 +251,7 @@ class Simulator:
         """
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
-        return RecurringEvent(self, float(interval), callback)
+        return RecurringEvent(self, float(interval), callback, key)
 
     def peek(self) -> Optional[float]:
         """Timestamp of the next live event, or None when drained."""
@@ -210,6 +259,102 @@ class Simulator:
             heapq.heappop(self._heap)._sim = None
             self._cancelled_in_heap -= 1
         return self._heap[0].time if self._heap else None
+
+    # ------------------------------------------------------- snapshot
+    def to_state(self) -> Dict[str, Any]:
+        """The simulator as canonical-JSON-able state (see
+        ``repro.state``).
+
+        Live events serialize as ``(key, time, seq)`` triples; the
+        callback itself is re-bound by :meth:`from_state` through the
+        caller's key registry. Any live *unkeyed* event makes this
+        raise :class:`SnapshotError` — a closure cannot be serialized,
+        and pretending otherwise would break the bit-exact resume
+        contract silently.
+
+        Tombstones (cancelled events still sitting in the heap) are
+        deliberately **dropped**: cancelled events never fire and never
+        influence live-event ``(time, seq)`` ordering, so the restored
+        heap is observationally identical with or without them —
+        ``queue_depth`` counts live events only, and the property tests
+        assert bit-exact continuation across snapshots taken with a
+        tombstone-laden heap.
+        """
+        events: List[Dict[str, Any]] = []
+        recurring: List[Dict[str, Any]] = []
+        for event in sorted(self._heap, key=lambda e: (e.time, e.seq)):
+            if event.cancelled:
+                continue
+            if event._recurring is not None:
+                rec = event._recurring
+                if rec.key is None:
+                    raise SnapshotError(
+                        f"live unkeyed recurring event (interval "
+                        f"{rec.interval}) cannot be snapshotted; pass "
+                        "key= to Simulator.every"
+                    )
+                recurring.append({
+                    "key": rec.key,
+                    "interval": rec.interval,
+                    "time": event.time,
+                    "seq": event.seq,
+                })
+            elif event.key is None:
+                raise SnapshotError(
+                    f"live unkeyed event at t={event.time} cannot be "
+                    "snapshotted; pass key= to Simulator.at/after or "
+                    "snapshot at a quiescence point"
+                )
+            else:
+                events.append({
+                    "key": event.key,
+                    "time": event.time,
+                    "seq": event.seq,
+                })
+        return {
+            "now": self.now,
+            "seq_next": self._seq_next,
+            "events_processed": self._events_processed,
+            "events": events,
+            "recurring": recurring,
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: Dict[str, Any],
+        callbacks: Dict[str, Callable[[], None]],
+    ) -> "Simulator":
+        """Rebuild a simulator from :meth:`to_state` output.
+
+        ``callbacks`` maps every event key in the snapshot back to a
+        callable; a missing key raises :class:`SnapshotError`. The
+        restored simulator is bit-exact: same clock, same
+        ``(time, seq)`` event order, same sequence cursor for events
+        scheduled after the restore.
+        """
+        sim = cls()
+        sim.now = float(state["now"])
+        sim._events_processed = int(state["events_processed"])
+        for entry in state["events"]:
+            key = entry["key"]
+            if key not in callbacks:
+                raise SnapshotError(f"no callback registered for key {key!r}")
+            event = Event(
+                float(entry["time"]), int(entry["seq"]), callbacks[key], key
+            )
+            event._sim = sim
+            heapq.heappush(sim._heap, event)
+        for entry in state["recurring"]:
+            key = entry["key"]
+            if key not in callbacks:
+                raise SnapshotError(f"no callback registered for key {key!r}")
+            RecurringEvent._restore(
+                sim, float(entry["interval"]), callbacks[key], key,
+                float(entry["time"]), int(entry["seq"]),
+            )
+        sim._seq_next = int(state["seq_next"])
+        return sim
 
 
 class RecurringEvent:
@@ -219,16 +364,47 @@ class RecurringEvent:
     is skipped via the underlying event's cancellation.
     """
 
-    __slots__ = ("sim", "interval", "callback", "cancelled", "_event")
+    __slots__ = ("sim", "interval", "callback", "cancelled", "key", "_event")
 
     def __init__(
-        self, sim: Simulator, interval: float, callback: Callable[[], None]
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], None],
+        key: Optional[str] = None,
     ):
         self.sim = sim
         self.interval = interval
         self.callback = callback
         self.cancelled = False
+        self.key = key
         self._event = sim.after(interval, self._fire)
+        self._event._recurring = self
+
+    @classmethod
+    def _restore(
+        cls,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], None],
+        key: str,
+        time: float,
+        seq: int,
+    ) -> "RecurringEvent":
+        """Rebuild from snapshot state: the pending firing keeps its
+        original ``(time, seq)`` slot instead of being rescheduled."""
+        rec = cls.__new__(cls)
+        rec.sim = sim
+        rec.interval = interval
+        rec.callback = callback
+        rec.cancelled = False
+        rec.key = key
+        event = Event(time, seq, rec._fire)
+        event._sim = sim
+        event._recurring = rec
+        heapq.heappush(sim._heap, event)
+        rec._event = event
+        return rec
 
     def _fire(self) -> None:
         if self.cancelled:
@@ -241,6 +417,7 @@ class RecurringEvent:
         if self.cancelled:
             return
         self._event = self.sim.after(self.interval, self._fire)
+        self._event._recurring = self
 
     def cancel(self) -> None:
         self.cancelled = True

@@ -12,12 +12,13 @@ the queue late). Both are sampled from a seeded fault-plan substream,
 so a lossy trace replays identically.
 """
 
-from typing import Iterator, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.faults.counters import FaultCounters
 from repro.faults.plan import FaultPlan
+from repro.state.protocol import restore_rng, rng_state
 
 
 class ArrivalProcess:
@@ -45,6 +46,14 @@ class PoissonArrivals(ArrivalProcess):
     def next_gap(self) -> float:
         return float(self._rng.exponential(1.0 / self.rate_per_cycle))
 
+    def to_state(self) -> Dict[str, Any]:
+        """Snapshot (``repro.state`` contract): rate + RNG position."""
+        return {"rate_per_cycle": self.rate_per_cycle, "rng": rng_state(self._rng)}
+
+    def from_state(self, state: Dict[str, Any]) -> None:
+        self.rate_per_cycle = float(state["rate_per_cycle"])
+        restore_rng(self._rng, state["rng"])
+
 
 class UniformArrivals(ArrivalProcess):
     """Fixed-gap arrivals — the zero-variance reference for tests."""
@@ -56,6 +65,14 @@ class UniformArrivals(ArrivalProcess):
 
     def next_gap(self) -> float:
         return self.gap_cycles
+
+    def to_state(self) -> Dict[str, Any]:
+        """Snapshot (``repro.state`` contract): the process is
+        memoryless, so its config is its state."""
+        return {"gap_cycles": self.gap_cycles}
+
+    def from_state(self, state: Dict[str, Any]) -> None:
+        self.gap_cycles = float(state["gap_cycles"])
 
 
 class FaultyArrivals(ArrivalProcess):
@@ -99,6 +116,16 @@ class FaultyArrivals(ArrivalProcess):
             gap += spec.delay_cycles
         return gap
 
+    def to_state(self) -> Dict[str, Any]:
+        """Snapshot (``repro.state`` contract): the base process's
+        state plus the fault substream position (counters are owned —
+        and snapshotted — by the accelerator, not the decorator)."""
+        return {"base": self.base.to_state(), "rng": rng_state(self._rng)}
+
+    def from_state(self, state: Dict[str, Any]) -> None:
+        self.base.from_state(state["base"])
+        restore_rng(self._rng, state["rng"])
+
 
 class TraceArrivals(ArrivalProcess):
     """Replays a recorded gap trace, cycling when exhausted."""
@@ -108,11 +135,19 @@ class TraceArrivals(ArrivalProcess):
         if not gaps or min(gaps) < 0:
             raise ValueError("trace needs non-negative gaps")
         self._gaps = gaps
-        self._iter: Iterator[float] = iter(())
+        # An explicit cursor (not an iterator) so the replay position
+        # is snapshotable state.
+        self._index = 0
 
     def next_gap(self) -> float:
-        try:
-            return next(self._iter)
-        except StopIteration:
-            self._iter = iter(self._gaps)
-            return next(self._iter)
+        gap = self._gaps[self._index]
+        self._index = (self._index + 1) % len(self._gaps)
+        return gap
+
+    def to_state(self) -> Dict[str, Any]:
+        """Snapshot (``repro.state`` contract): trace + cursor."""
+        return {"gaps": list(self._gaps), "index": self._index}
+
+    def from_state(self, state: Dict[str, Any]) -> None:
+        self._gaps = [float(g) for g in state["gaps"]]
+        self._index = int(state["index"]) % len(self._gaps)

@@ -1,0 +1,2 @@
+"""EQX406 fixture: stateful classes reachable from a checkpoint root
+with a missing or one-sided to_state/from_state pair."""

@@ -1,0 +1,58 @@
+"""A checkpoint root whose attribute graph hides two snapshot holes."""
+from dataclasses import dataclass
+
+
+class Counter:
+    """Stateful (mutates self.count outside __init__), no pair at all."""
+
+    def __init__(self):
+        self.count = 0
+
+    def bump(self):
+        self.count += 1
+
+
+class Gauge:
+    """One-sided: to_state without from_state."""
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set_value(self, value):
+        self.value = float(value)
+
+    def to_state(self):
+        return {"value": self.value}
+
+
+class Audited:  # eqx: ignore[EQX406]
+    """Suppressed on the class line: stateful but deliberately exempt."""
+
+    def __init__(self):
+        self.ticks = 0
+
+    def tick(self):
+        self.ticks += 1
+
+
+@dataclass(frozen=True)
+class Settings:
+    """Frozen config value: exempt without any annotation."""
+
+    limit: int = 8
+
+
+class Machine:
+    """The root itself carries a symmetric pair."""
+
+    def __init__(self):
+        self.counter = Counter()
+        self.gauge = Gauge()
+        self.audited = Audited()
+        self.settings = Settings()
+
+    def to_state(self):
+        return {"gauge": self.gauge.to_state()}
+
+    def from_state(self, state):
+        self.gauge.value = float(state["gauge"]["value"])

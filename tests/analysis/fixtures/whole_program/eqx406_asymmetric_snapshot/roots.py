@@ -1,0 +1,5 @@
+"""The statically-decoded checkpoint-root table for this fixture."""
+
+CHECKPOINT_ROOTS = {
+    "machine": "eqx406_asymmetric_snapshot.machine:Machine",
+}

@@ -17,6 +17,7 @@ BROKEN = [
     ("eqx403_cache_escape", "EQX403"),
     ("eqx404_unregistered", "EQX404"),
     ("eqx405_impure_merge", "EQX405"),
+    ("eqx406_asymmetric_snapshot", "EQX406"),
 ]
 
 
@@ -49,6 +50,32 @@ class TestBrokenFixtures:
         assert len(messages) == 2
         assert any("cannot resolve" in m for m in messages)
         assert any("not registered" in m for m in messages)
+
+    def test_eqx406_fires_for_both_shapes(self):
+        """Missing pair on a mutating class AND a one-sided pair —
+        while the frozen dataclass and the suppressed class stay
+        quiet."""
+        report = analyze_tree(FIXTURES / "eqx406_asymmetric_snapshot")
+        messages = [d.message for d in report.diagnostics]
+        assert len(messages) == 2
+        assert any(
+            "neither to_state nor from_state" in m and "Counter" in m
+            for m in messages
+        )
+        assert any(
+            "to_state but not from_state" in m and "Gauge" in m
+            for m in messages
+        )
+        assert not any("Audited" in m or "Settings" in m for m in messages)
+
+    def test_eqx406_witness_names_the_mutation(self):
+        report = analyze_tree(FIXTURES / "eqx406_asymmetric_snapshot")
+        missing = [
+            d for d in report.diagnostics if "neither" in d.message
+        ]
+        assert len(missing) == 1
+        assert "self.count" in missing[0].message
+        assert "bump()" in missing[0].message
 
     def test_diagnostics_are_errors(self):
         for package, _ in BROKEN:
@@ -92,10 +119,21 @@ class TestRealTree:
     def test_merge_state_folds_are_seen(self, report):
         assert len(report.coverage()["merge_state"]) >= 2
 
+    def test_checkpoint_roots_fully_covered(self, report):
+        """Every CHECKPOINT_ROOTS entry resolves to an indexed class —
+        the EQX406 walk starts from all of them."""
+        coverage = report.coverage()
+        roots = coverage["checkpoint_roots"]
+        assert coverage["checkpoint_roots_covered"] == len(roots)
+        assert coverage["checkpoint_roots_covered"] >= 13
+        assert roots["simulator"] == "repro.sim.engine.Simulator"
+        assert roots["accelerator"] == "repro.core.equinox.EquinoxAccelerator"
+
     def test_coverage_lines_render(self, report):
         lines = coverage_lines(report.coverage())
         assert any("jobs covered" in line for line in lines)
         assert any("kernel pairs covered" in line for line in lines)
+        assert any("checkpoint roots covered" in line for line in lines)
 
 
 class TestCallGraphCache:

@@ -117,8 +117,8 @@ class TestCacheIntegration:
         first = JobRunner(jobs=1, cache_dir=tmp_path)
         r1 = first.map(jobs)
         assert first.counters == {
-            "executed": 4, "cache_hits": 0, "crashes": 0,
-            "timeouts": 0, "retries": 0,
+            "executed": 4, "cache_hits": 0, "journal_hits": 0,
+            "crashes": 0, "timeouts": 0, "retries": 0,
         }
         second = JobRunner(jobs=1, cache_dir=tmp_path)
         r2 = second.map(jobs)

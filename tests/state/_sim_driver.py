@@ -1,0 +1,95 @@
+"""Standalone driver for the cross-process snapshot property test.
+
+Runs a deterministic keyed-event workload on :class:`Simulator` in one
+of three modes (printed as JSON on stdout):
+
+* ``full M TOTAL`` — run TOTAL events uninterrupted; print the trace
+  and the final ``to_state``.
+* ``split M K`` — run K events, snapshot; print the head trace and the
+  snapshot.
+* ``resume M REMAINING`` — read a snapshot from stdin, restore into
+  this **fresh process**, run REMAINING more events; print the tail
+  trace and the final ``to_state``.
+
+The workload exercises the snapshot edge cases on purpose: same-time
+events ordered by sequence number, a keyed recurring ticker, and
+cancelled events whose tombstones a snapshot must drop without
+affecting the continuation.
+"""
+
+import json
+import sys
+
+from repro.sim.engine import Simulator
+
+
+def build(m):
+    """The workload: ``m`` callback slots, each firing appends
+    ``[now, slot]`` and schedules its successor; slot 0 mod 4 also
+    creates-and-cancels an extra event (a heap tombstone). ``ctx``
+    indirection lets ``resume`` bind the same callbacks to a restored
+    simulator."""
+    ctx = {"sim": None}
+    trace = []
+    callbacks = {}
+
+    def make(slot):
+        def fire():
+            sim = ctx["sim"]
+            trace.append([sim.now, slot])
+            succ = (slot * 7 + 3) % m
+            sim.after(
+                1.0 + (slot % 5), callbacks["ev%d" % succ], key="ev%d" % succ
+            )
+            if slot % 4 == 0:
+                extra = sim.after(
+                    2.0, callbacks["ev%d" % slot], key="ev%d" % slot
+                )
+                extra.cancel()
+
+        return fire
+
+    for slot in range(m):
+        callbacks["ev%d" % slot] = make(slot)
+
+    def tick():
+        trace.append([ctx["sim"].now, -1])
+
+    callbacks["tick"] = tick
+    return ctx, trace, callbacks
+
+
+def fresh(m):
+    ctx, trace, callbacks = build(m)
+    sim = Simulator()
+    ctx["sim"] = sim
+    for slot in range(m):
+        sim.at((slot + 1) * 0.75, callbacks["ev%d" % slot], key="ev%d" % slot)
+    sim.every(3.5, callbacks["tick"], key="tick")
+    return sim, trace
+
+
+def main(argv):
+    mode, m = argv[0], int(argv[1])
+    if mode == "full":
+        sim, trace = fresh(m)
+        sim.run(max_events=int(argv[2]))
+        print(json.dumps({"trace": trace, "state": sim.to_state()}))
+    elif mode == "split":
+        sim, trace = fresh(m)
+        sim.run(max_events=int(argv[2]))
+        print(json.dumps({"trace": trace, "state": sim.to_state()}))
+    elif mode == "resume":
+        snapshot = json.load(sys.stdin)
+        ctx, trace, callbacks = build(m)
+        sim = Simulator.from_state(snapshot, callbacks)
+        ctx["sim"] = sim
+        sim.run(max_events=int(argv[2]))
+        print(json.dumps({"trace": trace, "state": sim.to_state()}))
+    else:
+        raise SystemExit(f"unknown mode {mode!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,172 @@
+"""Checkpoint files and the completion journal: atomicity, checksums,
+torn-tail tolerance and canonical-form byte identity."""
+
+import json
+
+import pytest
+
+from repro.exec.canonical import canonical_json, config_digest
+from repro.state.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointError,
+    CheckpointStore,
+    CompletionJournal,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.state.checkpoint import JOURNAL_SCHEMA
+
+
+class TestCheckpointFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        write_checkpoint(path, {"cursor": 7, "rows": [1, 2]},
+                         kind="demo", step=7)
+        payload = read_checkpoint(path, kind="demo")
+        assert payload["kind"] == "demo"
+        assert payload["step"] == 7
+        assert payload["state"] == {"cursor": 7, "rows": [1, 2]}
+
+    def test_document_is_canonical_and_self_checksummed(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        digest = write_checkpoint(path, {"a": 1}, kind="demo")
+        document = json.loads(path.read_text())
+        assert document["schema"] == CHECKPOINT_SCHEMA
+        assert document["payload_sha256"] == digest
+        assert config_digest(json.loads(document["payload"])) == digest
+
+    def test_kind_mismatch_raises(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        write_checkpoint(path, {}, kind="sweep")
+        with pytest.raises(CheckpointError, match="kind"):
+            read_checkpoint(path, kind="chaos")
+
+    def test_tampered_payload_raises(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        write_checkpoint(path, {"cursor": 7}, kind="demo")
+        document = json.loads(path.read_text())
+        document["payload"] = document["payload"].replace("7", "8")
+        path.write_text(json.dumps(document))
+        with pytest.raises(CheckpointError, match="checksum"):
+            read_checkpoint(path)
+
+    def test_garbage_raises_missing_is_file_not_found(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            read_checkpoint(path)
+        with pytest.raises(FileNotFoundError):
+            read_checkpoint(tmp_path / "absent.ckpt.json")
+
+    def test_write_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        for step in range(3):
+            write_checkpoint(path, {"step": step}, kind="demo", step=step)
+        assert [p.name for p in tmp_path.iterdir()] == ["run.ckpt.json"]
+
+
+class TestCheckpointStore:
+    def test_latest_wins(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("sweep", {"executed": 8}, step=8)
+        store.save("sweep", {"executed": 16}, step=16)
+        payload = store.load("sweep")
+        assert payload["step"] == 16
+        assert payload["state"] == {"executed": 16}
+
+    def test_absent_kind_loads_none(self, tmp_path):
+        assert CheckpointStore(tmp_path).load("never-saved") is None
+
+    def test_kinds_are_isolated(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("sweep", {"n": 1})
+        store.save("chaos", {"n": 2})
+        assert store.load("sweep")["state"] == {"n": 1}
+        assert store.load("chaos")["state"] == {"n": 2}
+
+
+class TestCompletionJournal:
+    def test_append_replay_across_instances(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = CompletionJournal(path)
+        journal.append("job-a", {"value": 1})
+        journal.append("job-b", [1, 2, 3])
+        replayed = CompletionJournal(path)
+        assert len(replayed) == 2
+        assert "job-a" in replayed
+        assert replayed.get("job-a") == {"value": 1}
+        assert replayed.get("job-b") == [1, 2, 3]
+        assert replayed.get("never-ran") is None
+
+    def test_line_is_byte_identical_to_canonical_record(self, tmp_path):
+        """The splice-built line (one result serialization) must equal
+        ``canonical_json`` of the full record byte for byte — the
+        on-disk format is part of the schema, not an implementation
+        detail."""
+        path = tmp_path / "journal.jsonl"
+        journal = CompletionJournal(path)
+        results = {
+            "k1": {"nested": {"t": (1, 2)}, "f": 2.5},
+            "k2": [float("inf"), float("nan"), "héllo ✓"],
+        }
+        for key, result in results.items():
+            journal.append(key, result)
+        for (key, result), line in zip(
+            results.items(), path.read_text().splitlines()
+        ):
+            record = {
+                "schema": JOURNAL_SCHEMA,
+                "key": key,
+                "result": result,
+                "sha256": config_digest({"key": key, "result": result}),
+            }
+            assert line == canonical_json(record)
+
+    def test_in_process_reads_match_disk_replay(self, tmp_path):
+        """Results are normalized (tuples -> lists) the moment they are
+        journaled, so the writing process and a resumed process see the
+        same values."""
+        path = tmp_path / "journal.jsonl"
+        journal = CompletionJournal(path)
+        journal.append("k", {"t": (1, 2)})
+        assert journal.get("k") == {"t": [1, 2]}
+        assert CompletionJournal(path).get("k") == {"t": [1, 2]}
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = CompletionJournal(path)
+        for index in range(3):
+            journal.append(f"job-{index}", index)
+        text = path.read_text()
+        lines = text.splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n" + lines[2][: len(lines[2]) // 2])
+        survivor = CompletionJournal(path)
+        assert len(survivor) == 2
+        assert "job-2" not in survivor
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = CompletionJournal(path)
+        for index in range(3):
+            journal.append(f"job-{index}", index)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="followed by valid"):
+            CompletionJournal(path).load()
+
+    def test_tampered_result_fails_its_checksum(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = CompletionJournal(path)
+        journal.append("job-a", {"value": 1})
+        journal.append("job-b", {"value": 2})
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0].replace('"value":1', '"value":9')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="checksum"):
+            CompletionJournal(path).load()
+
+    def test_absent_journal_is_empty(self, tmp_path):
+        journal = CompletionJournal(tmp_path / "never-written.jsonl")
+        assert len(journal) == 0
+        assert journal.get("anything") is None

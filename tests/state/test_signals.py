@@ -1,0 +1,64 @@
+"""GracefulShutdown: signal-to-flag conversion, exit codes, handler
+restoration and the double-signal escape hatch."""
+
+import os
+import signal
+
+import pytest
+
+from repro.state.signals import GracefulShutdown, ShutdownRequested
+
+
+def _deliver(signum):
+    """Send ``signum`` to ourselves and let the interpreter run the
+    Python-level handler (CPython processes pending signals on the next
+    bytecode boundary)."""
+    os.kill(os.getpid(), signum)
+    for _ in range(100):
+        pass
+
+
+class TestGracefulShutdown:
+    def test_check_is_quiet_without_a_signal(self):
+        with GracefulShutdown() as shutdown:
+            shutdown.check()
+            assert shutdown.pending is None
+
+    @pytest.mark.parametrize(
+        "signum,code",
+        [(signal.SIGINT, 130), (signal.SIGTERM, 143)],
+    )
+    def test_signal_raises_at_the_next_check(self, signum, code):
+        with GracefulShutdown() as shutdown:
+            _deliver(signum)
+            assert shutdown.pending == signum
+            with pytest.raises(ShutdownRequested) as excinfo:
+                shutdown.check()
+            assert excinfo.value.exit_code == code
+            assert excinfo.value.signame in ("SIGINT", "SIGTERM")
+
+    def test_handlers_restored_on_exit(self):
+        before = {
+            signal.SIGINT: signal.getsignal(signal.SIGINT),
+            signal.SIGTERM: signal.getsignal(signal.SIGTERM),
+        }
+        with GracefulShutdown():
+            assert signal.getsignal(signal.SIGINT) is not before[signal.SIGINT]
+        for signum, handler in before.items():
+            assert signal.getsignal(signum) is handler
+
+    def test_second_signal_restores_default_disposition(self):
+        """Two SIGINTs while the first is still pending must arm the
+        default handler, so a third would terminate immediately (we
+        stop at asserting the disposition — actually delivering it
+        would kill the test run)."""
+        with GracefulShutdown() as shutdown:
+            _deliver(signal.SIGINT)
+            _deliver(signal.SIGINT)
+            assert shutdown.pending == signal.SIGINT
+            assert signal.getsignal(signal.SIGINT) is signal.SIG_DFL
+            assert signal.getsignal(signal.SIGTERM) is signal.SIG_DFL
+
+    def test_exit_code_convention(self):
+        assert ShutdownRequested(signal.SIGINT).exit_code == 130
+        assert ShutdownRequested(signal.SIGTERM).exit_code == 143

@@ -1,0 +1,83 @@
+"""Snapshot round trips for the serving stack and the fleet: quiesce,
+serialize through canonical JSON (what a checkpoint file does), restore
+into a freshly built twin, and continue deterministically."""
+
+from repro.cluster.fleet import EquinoxFleet
+from repro.eval.runner import build_accelerator
+from repro.exec.canonical import canonical_json, decode, encode
+from repro.state import CheckpointStore
+
+
+def _fresh_accelerator():
+    return build_accelerator("500us", "hbfp8")
+
+
+class TestAcceleratorSnapshot:
+    def test_restore_determinism_after_quiesce(self):
+        """Two restores of one snapshot continue identically — the
+        invariant the crash-recovery drill's byte-compare rests on."""
+        source = _fresh_accelerator()
+        source.run(load=0.5, requests=48, seed=3)
+        source.quiesce()
+        state = decode(encode(source.to_state()))  # disk round trip
+
+        first, second = _fresh_accelerator(), _fresh_accelerator()
+        first.from_state(state)
+        second.from_state(state)
+        report_a = first.run(load=0.5, requests=32, seed=5)
+        report_b = second.run(load=0.5, requests=32, seed=5)
+        assert report_a.requests_completed == report_b.requests_completed
+        assert report_a.p99_latency_us == report_b.p99_latency_us
+        assert report_a.training_top_s == report_b.training_top_s
+        first.quiesce()
+        second.quiesce()
+        assert canonical_json(first.to_state()) == canonical_json(
+            second.to_state()
+        )
+
+    def test_snapshot_carries_the_clock_and_meters(self):
+        source = _fresh_accelerator()
+        source.run(load=0.4, requests=32, seed=1)
+        source.quiesce()
+        state = source.to_state()
+        restored = _fresh_accelerator()
+        restored.from_state(decode(encode(state)))
+        assert restored.sim.now == source.sim.now
+        assert restored.sim.events_processed == source.sim.events_processed
+        assert canonical_json(restored.fault_counters.to_state()) == (
+            canonical_json(source.fault_counters.to_state())
+        )
+
+
+class TestFleetSnapshot:
+    def test_round_trip_preserves_the_round_checkpoint(self):
+        fleet = EquinoxFleet(2, latency_class="500us")
+        fleet.train([0.3, 0.5], batches=1, seed=11)
+        state = decode(encode(fleet.to_state()))
+
+        clone = EquinoxFleet(2, latency_class="500us")
+        clone.from_state(state)
+        assert clone.last_checkpoint == fleet.last_checkpoint
+        # A resumed round reuses every restored measurement bit-for-bit
+        # instead of re-simulating.
+        report = clone.train(
+            [0.3, 0.5], batches=1, seed=11,
+            resume_from=clone.last_checkpoint,
+        )
+        assert tuple(report.workers) == fleet.last_checkpoint.reports
+        assert clone.fault_counters.round_restores >= 1
+
+    def test_store_backed_train_resumes_automatically(self, tmp_path):
+        """A killed ``train`` re-run with the same CheckpointStore picks
+        its partial round back up without being handed the checkpoint."""
+        store = CheckpointStore(tmp_path)
+        fleet = EquinoxFleet(2, latency_class="500us")
+        fleet.train([0.3, 0.5], batches=1, seed=11, checkpoint_store=store)
+        reports = fleet.last_checkpoint.reports
+
+        survivor = EquinoxFleet(2, latency_class="500us")
+        report = survivor.train(
+            [0.3, 0.5], batches=1, seed=11, checkpoint_store=store
+        )
+        assert tuple(report.workers) == reports
+        assert survivor.fault_counters.round_restores >= 1
