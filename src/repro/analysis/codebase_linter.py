@@ -42,6 +42,10 @@ parsed module. Shipping rules:
   forever, skipping ``set_backend``/``REPRO_KERNEL_BACKEND``, the
   per-call ``backend=`` opt-out and the dispatch counters that run
   artifacts embed.
+* **EQX309 direct-heapq** — ``heapq`` imported outside ``repro.sim``
+  (and tests). The simulator owns the event heap; a second heap
+  elsewhere schedules work the engine cannot order, cancel, count in
+  ``queue_depth`` or snapshot.
 
 Suppression: append ``# eqx: ignore[EQX301]`` (or ``# eqx: ignore`` for
 all rules) to the offending line; ``# eqx: disable=EQX301,EQX304`` is
@@ -561,6 +565,42 @@ class KernelImplImportRule(LintRule):
         return diags
 
 
+class DirectHeapqRule(LintRule):
+    """EQX309: heapq imported outside the simulator package."""
+
+    rule = rules.DIRECT_HEAPQ
+
+    def applies_to(self, context: LintContext) -> bool:
+        # repro.sim owns the event heap; tests may build reference
+        # heaps to check the simulator against.
+        if context.in_package("sim", "tests"):
+            return False
+        return not context.module_path.startswith("tests/")
+
+    def check(self, tree: ast.Module, context: LintContext) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        for node in ast.walk(tree):
+            hit = False
+            if isinstance(node, ast.Import):
+                hit = any(
+                    alias.name == "heapq" or alias.name.startswith("heapq.")
+                    for alias in node.names
+                )
+            elif isinstance(node, ast.ImportFrom):
+                hit = node.module == "heapq"
+            if hit:
+                diags.append(rules.diagnostic(
+                    self.rule,
+                    "direct heapq use outside repro.sim builds a second "
+                    "event queue the simulator cannot see (ordering, "
+                    "cancellation, queue_depth and snapshots all stop "
+                    "applying) — schedule through Simulator.at/after or "
+                    "at_call/after_call",
+                    file=context.path, line=node.lineno,
+                ))
+        return diags
+
+
 #: The shipped rule set, in catalog order.
 DEFAULT_RULES: Tuple[LintRule, ...] = (
     DtypeLeakRule(),
@@ -571,6 +611,7 @@ DEFAULT_RULES: Tuple[LintRule, ...] = (
     DirectPercentileRule(),
     AdhocConfigDumpRule(),
     KernelImplImportRule(),
+    DirectHeapqRule(),
 )
 
 

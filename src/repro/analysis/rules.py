@@ -154,6 +154,15 @@ KERNEL_IMPL_IMPORT = _register(Rule(
     "stop applying — call the public wrappers (bfp_matmul, im2col, "
     "SystolicArray.run...) or kernels.dispatch() instead.",
 ))
+DIRECT_HEAPQ = _register(Rule(
+    "EQX309", "direct-heapq", Severity.ERROR,
+    "heapq outside repro.sim builds a second event queue: entries "
+    "scheduled there are invisible to the simulator's ordering, "
+    "cancellation bookkeeping, queue_depth invariant and snapshot "
+    "machinery, silently breaking determinism and resume — schedule "
+    "through Simulator.at/after (or at_call/after_call for "
+    "fire-and-forget work) instead.",
+))
 
 # ---------------------------------------------------------------- EQX4xx
 # Whole-program rules: judged against the interprocedural call graph

@@ -339,13 +339,16 @@ class InferenceEngine:
             if remaining[0] == 0:
                 self._after_mmu(batch, step_index)
 
-        for job in jobs:
-            self.mmu.issue(
-                job,
-                real_rows=min(batch.real_count, job.rows),
-                context="inference",
-                on_done=_job_done,
-            )
+        # The whole step's instruction stream goes down in one batch —
+        # a single arbiter wake-up instead of one per job, with the
+        # per-instruction grant policy unchanged (the unit is busy from
+        # the first grant, so the scalar path's extra pumps were no-ops).
+        self.mmu.issue_batch(
+            jobs,
+            real_rows_fn=lambda job: min(batch.real_count, job.rows),
+            context="inference",
+            on_done=_job_done,
+        )
 
     def _after_mmu(self, batch: Batch, step_index: int) -> None:
         step = self.program.steps[step_index]
@@ -575,7 +578,7 @@ class TrainingEngine:
             self._maybe_prefetch()
 
         if stream <= 0:
-            self.sim.after(0.0, _staged)
+            self.sim.after_call(0.0, _staged)
         else:
             self.hbm.transfer(
                 stream, kind="train_stream", on_done=_staged,

@@ -557,14 +557,35 @@ class EquinoxAccelerator:
 
         target = self.engine.requests_completed + requests
         stop_submitting = [False]
+        # Admission runs one block ahead of the clock: one batched
+        # next_gaps() draw pre-schedules a run of arrivals on the
+        # anonymous lane, and the block's last arrival draws the next
+        # block. Arrival times are the same prefix sums the scalar
+        # one-ahead loop produced, from the identical RNG stream (each
+        # arrival still submits first, then its successor's gap is
+        # already drawn — the stream order the scalar loop established).
+        block = 32
 
-        def _arrive() -> None:
+        def _submit() -> None:
             if stop_submitting[0]:
                 return
             self.dispatcher.submit()
-            self.sim.after(arrivals.next_gap(), _arrive)
 
-        self.sim.after(arrivals.next_gap(), _arrive)
+        def _tail() -> None:
+            if stop_submitting[0]:
+                return
+            self.dispatcher.submit()
+            _admit_block()
+
+        def _admit_block() -> None:
+            gaps = arrivals.next_gaps(block)
+            t = self.sim.now
+            for gap in gaps[:-1]:
+                t += gap
+                self.sim.at_call(t, _submit)
+            self.sim.at_call(t + gaps[-1], _tail)
+
+        _admit_block()
 
         start_events = self.sim.events_processed
         # Slice the run so the completion condition is re-checked about

@@ -26,7 +26,10 @@ from repro.exec.canonical import code_fingerprint
 
 __all__ = [
     "BENCH_SCHEMA",
+    "DEFAULT_DIFF_TOLERANCE",
     "default_bench_path",
+    "diff_benches",
+    "latest_bench_path",
     "pinned_kernels",
     "run_suite",
     "validate_bench",
@@ -38,6 +41,13 @@ BENCH_SCHEMA = "repro.exec/bench/v1"
 
 #: Default repeats per kernel (after one untimed warmup).
 DEFAULT_REPEATS = 3
+
+#: Default ``--diff`` regression ratio: a kernel must be slower than
+#: the committed baseline by this factor before the gate fails. Wall
+#: time across CI hosts is noisy, so the tolerance is deliberately
+#: generous — the gate catches order-of-magnitude regressions (an
+#: accidentally quadratic loop, a dropped fast path), not 10% drift.
+DEFAULT_DIFF_TOLERANCE = 2.0
 
 
 # ----------------------------------------------------------------------
@@ -82,6 +92,110 @@ def _kernel_chaos_scenario() -> float:
     report = accelerator.run(load=0.6, requests=96, seed=7)
     return float(
         report.requests_completed + report.faults.faults_injected
+    )
+
+
+# ----------------------------------------------------------------------
+# Simulator drain-loop bench (sim.drain.reference vs sim.drain.batched)
+#
+# The event-loop microbench: a deterministic soup shaped like one
+# Figure-7 load point's traffic — a Poisson admission process plus two
+# fire-and-forget completions per arrival. The completion offsets are
+# the systolic closed form's two phases for a deep tile (wavefront
+# fill ~n + rows ≈ 120 cycles to issue-complete, result streaming
+# ~n·w ≈ 1200 cycles to pipeline-drain), so at rate 1/8 the pending
+# set sits ~180 deep — the regime a high-load Figure-7 point runs in.
+# Both arms fire the same events at the same times (``next_gaps`` is
+# stream-equal to scalar draws; completion offsets are constants), so
+# the work proofs are identical by construction; they differ only in
+# which engine scheme runs them:
+#
+# * ``reference`` — the pre-rewrite engine, preserved verbatim in
+#   ``repro.sim.legacy``: an object heap ordered by interpreted
+#   ``Event.__lt__``, one scalar RNG draw per arrival, every event
+#   allocating a keyed handle, peek-then-pop scalar drain;
+# * ``batched`` — the production scheme: block admission via
+#   ``next_gaps`` + bulk ``at_calls`` timeline scheduling (the whole
+#   block's arrivals and closed-form completions pushed at admission,
+#   the per-tile stream-batching pattern), tuple-entry heap, anonymous
+#   lane, batch-drained loop.
+#
+# Callbacks are shared module-level functions on purpose: the bench
+# isolates the loop, not closure construction.
+# ----------------------------------------------------------------------
+
+_DRAIN_ARRIVALS = 2000
+_DRAIN_BLOCK = 32
+_DRAIN_OCCUPANCY = 120.0
+_DRAIN_PIPELINE = 1200.0
+
+
+def _kernel_sim_drain(batched: bool) -> float:
+    from repro.workload.loadgen import PoissonArrivals
+
+    arrivals = PoissonArrivals(rate_per_cycle=0.125, seed=50)
+    counters = [0, 0, 0]  # arrivals, issues, dones
+
+    def _issue() -> None:
+        counters[1] += 1
+
+    def _done() -> None:
+        counters[2] += 1
+
+    if batched:
+        from repro.sim.engine import LOOP_BATCHED, Simulator
+
+        sim = Simulator()
+
+        def _submit() -> None:
+            counters[0] += 1
+
+        admitted = [1]  # arrivals scheduled so far (the seed _tail below)
+
+        def _admit_block() -> None:
+            to_admit = min(_DRAIN_BLOCK, _DRAIN_ARRIVALS - admitted[0])
+            if to_admit <= 0:
+                return
+            admitted[0] += to_admit
+            gaps = arrivals.next_gaps(to_admit)
+            times = []
+            t = sim.now
+            for gap in gaps:
+                t += gap
+                times.append(t)
+            sim.at_calls(times[:-1], _submit)
+            sim.at_call(times[-1], _tail)
+            sim.at_calls([t + _DRAIN_OCCUPANCY for t in times], _issue)
+            sim.at_calls([t + _DRAIN_PIPELINE for t in times], _done)
+
+        def _tail() -> None:
+            _submit()
+            _admit_block()
+
+        seed_t = arrivals.next_gap()
+        sim.at_call(seed_t, _tail)
+        sim.at_call(seed_t + _DRAIN_OCCUPANCY, _issue)
+        sim.at_call(seed_t + _DRAIN_PIPELINE, _done)
+        sim.run(loop=LOOP_BATCHED)
+    else:
+        from repro.sim.legacy import Simulator as LegacySimulator
+
+        sim = LegacySimulator()
+
+        def _arrive() -> None:
+            counters[0] += 1
+            sim.after(_DRAIN_OCCUPANCY, _issue)
+            sim.after(_DRAIN_PIPELINE, _done)
+            if counters[0] < _DRAIN_ARRIVALS:
+                sim.after(arrivals.next_gap(), _arrive)
+
+        sim.after(arrivals.next_gap(), _arrive)
+        sim.run()
+
+    return (
+        float(sim.events_processed)
+        + float(counters[0] + counters[1] + counters[2])
+        + round(sim.now, 6)
     )
 
 
@@ -240,6 +354,16 @@ def pinned_kernels() -> Dict[str, Tuple[str, Callable[[], float]]]:
         ),
         "eval.load_point": (
             "fig7 load point, Equinox_500us @ 0.5 load", _kernel_load_point,
+        ),
+        "sim.drain.reference": (
+            f"event soup {_DRAIN_ARRIVALS} arrivals, keyed lane + "
+            "reference loop",
+            lambda: _kernel_sim_drain(False),
+        ),
+        "sim.drain.batched": (
+            f"event soup {_DRAIN_ARRIVALS} arrivals, anonymous lane + "
+            "batched loop",
+            lambda: _kernel_sim_drain(True),
         ),
         "chaos.scenario": (
             "fault-injected run, HBM ECC 5% err", _kernel_chaos_scenario,
@@ -417,13 +541,20 @@ def run_suite(
 
 
 def _speedups(timed: Dict[str, Any]) -> Dict[str, Any]:
-    """Per-pair reference/fast ratios (best-of-repeats, noise-robust)."""
+    """Per-pair reference/fast ratios (best-of-repeats, noise-robust).
+
+    ``<base>.reference`` pairs with ``<base>.fast`` (the kernel pairs)
+    or ``<base>.batched`` (the simulator drain loops); either way the
+    record's ``fast_s`` is the non-reference arm.
+    """
     out: Dict[str, Any] = {}
     for name in timed:
         if not name.endswith(".reference"):
             continue
         base = name[: -len(".reference")]
         fast_name = base + ".fast"
+        if fast_name not in timed:
+            fast_name = base + ".batched"
         if fast_name not in timed:
             continue
         reference_s = timed[name]["wall_s"]["min"]
@@ -525,6 +656,87 @@ def validate_bench(data: Any) -> List[str]:
                     "checkpoint.checkpoint_every must be a positive int"
                 )
     return problems
+
+
+# ----------------------------------------------------------------------
+# Regression diff (``python -m repro bench --diff <dir>``)
+# ----------------------------------------------------------------------
+
+
+def latest_bench_path(
+    directory: "str | os.PathLike[str]",
+) -> Optional[str]:
+    """Newest valid ``BENCH_*.json`` under ``directory`` (None if none).
+
+    "Newest" is by the document's own ``created_unix`` stamp, not file
+    mtime — a fresh checkout resets every mtime, but the stamp travels
+    with the artifact. Unreadable or schema-invalid files are skipped:
+    the diff gate must not be defeatable by committing a corrupt
+    baseline.
+    """
+    import glob
+
+    best: Optional[Tuple[int, str]] = None
+    pattern = os.path.join(os.fspath(directory), "BENCH_*.json")
+    for path in sorted(glob.glob(pattern)):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if validate_bench(data):
+            continue
+        stamp = data.get("created_unix")
+        if not isinstance(stamp, int):
+            continue
+        if best is None or stamp >= best[0]:
+            best = (stamp, path)
+    return None if best is None else best[1]
+
+
+def diff_benches(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    tolerance: float = DEFAULT_DIFF_TOLERANCE,
+) -> Tuple[List[str], List[str]]:
+    """Compare a fresh BENCH document against a committed baseline.
+
+    Returns ``(regressions, notes)``. A regression is a shared kernel
+    whose best-of-repeats wall time grew by more than ``tolerance``×;
+    notes are informational (kernels only present on one side, work-
+    proof drift) and never fail the gate on their own.
+    """
+    if tolerance <= 1.0:
+        raise ValueError(f"tolerance must be > 1.0, got {tolerance}")
+    regressions: List[str] = []
+    notes: List[str] = []
+    base_kernels = baseline.get("kernels", {})
+    cur_kernels = current.get("kernels", {})
+    for name in sorted(set(base_kernels) | set(cur_kernels)):
+        if name not in cur_kernels:
+            notes.append(f"{name}: in baseline only (kernel removed?)")
+            continue
+        if name not in base_kernels:
+            notes.append(f"{name}: new kernel, no baseline to compare")
+            continue
+        base_min = base_kernels[name]["wall_s"]["min"]
+        cur_min = cur_kernels[name]["wall_s"]["min"]
+        ratio = cur_min / base_min
+        if ratio > tolerance:
+            regressions.append(
+                f"{name}: {cur_min * 1e3:.2f} ms vs baseline "
+                f"{base_min * 1e3:.2f} ms ({ratio:.2f}x > "
+                f"{tolerance:.2f}x tolerance)"
+            )
+        base_work = base_kernels[name].get("work")
+        cur_work = cur_kernels[name].get("work")
+        if base_work != cur_work:
+            notes.append(
+                f"{name}: work proof changed {base_work!r} -> "
+                f"{cur_work!r} (kernel does different work than the "
+                "baseline revision)"
+            )
+    return regressions, notes
 
 
 def default_bench_path(

@@ -294,6 +294,17 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         help="ambient repro.kernels backend while benching (the "
         "kernels.* pair entries pin their own backend regardless)",
     )
+    parser.add_argument(
+        "--diff", default=None, metavar="DIR",
+        help="after benching, compare against the newest committed "
+        "BENCH_*.json in DIR and exit non-zero on any kernel slower "
+        "than the tolerance ratio",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="--diff regression ratio (default 2.0: fail only when a "
+        "kernel doubles its best wall time — CI hosts are noisy)",
+    )
 
 
 def run_bench(args: argparse.Namespace) -> int:
@@ -312,12 +323,43 @@ def run_bench(args: argparse.Namespace) -> int:
         return 1 if problems else 0
 
     apply_kernel_backend(args)
+    # Resolve the baseline BEFORE writing the new artifact, so a
+    # --diff directory that doubles as --out-dir never compares the
+    # fresh run against itself.
+    baseline_path = None
+    if args.diff is not None:
+        baseline_path = bench.latest_bench_path(args.diff)
     repeats = args.repeats if args.repeats is not None else bench.DEFAULT_REPEATS
     document = bench.run_suite(repeats=repeats, kernels=args.kernels)
     print(bench.render_suite(document))
     path = bench.default_bench_path(args.out_dir, rev=args.rev)
     bench.write_bench(document, path)
     print(f"\n[bench] {path}")
+    regressions = []
+    if args.diff is not None:
+        tolerance = (
+            args.tolerance if args.tolerance is not None
+            else bench.DEFAULT_DIFF_TOLERANCE
+        )
+        if baseline_path is None:
+            print(f"[bench-diff] no baseline BENCH_*.json in {args.diff}; "
+                  "nothing to gate against")
+        else:
+            with open(baseline_path) as handle:
+                baseline = json.load(handle)
+            regressions, notes = bench.diff_benches(
+                baseline, document, tolerance=tolerance
+            )
+            print(f"[bench-diff] baseline {baseline_path} "
+                  f"(tolerance {tolerance:.2f}x)")
+            for note in notes:
+                print(f"[bench-diff] note: {note}")
+            for regression in regressions:
+                print(f"[bench-diff] REGRESSION {regression}",
+                      file=sys.stderr)
+            if not regressions:
+                print("[bench-diff] ok: no kernel regressed past "
+                      "tolerance")
     from repro.obs.profile import kernel_dispatch_summary
 
     dispatches = kernel_dispatch_summary()
@@ -327,4 +369,4 @@ def run_bench(args: argparse.Namespace) -> int:
             for key, count in dispatches.items()
         )
         print(f"[kernels] {summary}", file=sys.stderr)
-    return 0
+    return 1 if regressions else 0

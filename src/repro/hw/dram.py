@@ -78,7 +78,7 @@ class HBMInterface:
         self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0.0) + aligned
         if aligned == 0:
             if on_done is not None:
-                self.sim.after(0.0, on_done)
+                self.sim.after_call(0.0, on_done)
             return
         injector = self._fault_injector
         if injector is None or not injector.plan.hbm.enabled:

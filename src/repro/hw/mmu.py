@@ -136,6 +136,42 @@ class MatrixMultiplyUnit:
         )
         self.pump()
 
+    def issue_batch(
+        self,
+        jobs,
+        real_rows_fn: Callable[[MMUJob], int],
+        context: str,
+        on_done: Optional[Callable[[], None]] = None,
+        on_issue: Optional[Callable[[], None]] = None,
+        queue: Optional[str] = None,
+    ) -> int:
+        """Enqueue a tile's whole instruction stream with one pump.
+
+        Timing-identical to issuing each job via :meth:`issue`: while
+        the unit is busy (which it is from the first grant on),
+        ``pump()`` is a no-op, so the per-job pumps of the scalar path
+        do nothing but burn cycles. Arbitration still happens *per
+        instruction* at every completion — the paper's §3.2 contract —
+        only the redundant wake-ups are elided. Returns the number of
+        jobs enqueued.
+        """
+        target = queue or context
+        if target not in self._queues:
+            raise KeyError(f"unknown MMU queue {target!r}")
+        q = self._queues[target]
+        count = 0
+        for job in jobs:
+            real_rows = real_rows_fn(job)
+            if not 0 <= real_rows <= job.rows:
+                raise ValueError(
+                    f"real_rows {real_rows} outside 0..{job.rows}"
+                )
+            q.append(_QueuedJob(job, real_rows, context, on_done, on_issue))
+            count += 1
+        if count:
+            self.pump()
+        return count
+
     def pump(self) -> None:
         """Grant the next job if the unit is free and the policy allows.
 
@@ -201,10 +237,16 @@ class MatrixMultiplyUnit:
             if entry.on_done is not None:
                 # Results drain through the array after the last row
                 # enters; the unit itself is free for the next job.
-                self.sim.after(self.config.pipeline_drain_cycles, entry.on_done)
+                self.sim.after_call(
+                    self.config.pipeline_drain_cycles, entry.on_done
+                )
             self.pump()
 
-        self.sim.after(occupancy, _issue_complete)
+        # A granted job is never revoked (the arbiter commits at grant),
+        # so both completion hops ride the anonymous fire-and-forget
+        # lane — these are the two densest event classes in the whole
+        # simulation.
+        self.sim.after_call(occupancy, _issue_complete)
 
     # ------------------------------------------------------------------
     # Measurements

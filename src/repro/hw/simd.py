@@ -48,7 +48,7 @@ class SIMDUnit:
         if job.cycles <= 0:
             # Steps with no vector work complete immediately.
             if on_done is not None:
-                self.sim.after(0.0, on_done)
+                self.sim.after_call(0.0, on_done)
             return
 
         def _done() -> None:

@@ -86,3 +86,41 @@ class SystolicArray:
 
         run = kernels.dispatch("systolic.run", backend)
         return run(x, self.weights, self.n, self.w)
+
+    def run_stream(
+        self, tile_stream, backend: "str | None" = None
+    ) -> "tuple[list, int, list]":
+        """Stream a sequence of activation tiles back-to-back.
+
+        Weight-stationary arrays accept one row per cycle with no
+        bubble between jobs, so a whole tile stream is one timeline:
+        tile ``k``'s cycle counts are tile-local counts shifted by the
+        rows already streamed. The fast backend exploits exactly that
+        (one stacked vectorized pass); the reference backend runs the
+        per-tile loop. Both are bit-identical per the parity contract.
+
+        Args:
+            tile_stream: Sequence of activation arrays, each
+                (R_k >= 1, n·w).
+            backend: Kernel backend override for this call.
+
+        Returns:
+            outputs: List of (R_k × n) products, one per tile.
+            last_cycle: Cycle the final tile's last output left the
+                FIFO (0 for an empty stream).
+            completions: List of (R_k × n) per-output completion
+                cycles, on the shared stream timeline.
+        """
+        tiles = []
+        for k, activations in enumerate(tile_stream):
+            x = np.asarray(activations, dtype=np.float64)  # eqx: ignore[EQX301]
+            if x.ndim != 2 or x.shape[0] < 1 or x.shape[1] != self.n * self.w:
+                raise ValueError(
+                    f"stream tile {k} must be (R>=1, {self.n * self.w}); "
+                    f"got {x.shape}"
+                )
+            tiles.append(x)
+        from repro import kernels
+
+        run_stream = kernels.dispatch("systolic.stream", backend)
+        return run_stream(tiles, self.weights, self.n, self.w)

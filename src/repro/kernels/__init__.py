@@ -17,18 +17,25 @@ globally (:func:`set_backend`, ``REPRO_KERNEL_BACKEND``), per scope
 through ``BlockFloatTensor.from_float``, ``bfp_matmul``,
 ``SystolicArray.run``, ``im2col``). The default is ``fast``.
 
+A third backend, ``compiled``, exists for the hottest pairs when numba
+is importable (:mod:`repro.kernels.compiled`): jitted mirrors of the
+reference loops, same parity contract. Pairs without a compiled mirror
+fall back to ``fast`` under that backend.
+
 Registered pairs:
 
 ========================  ============================================
 ``bfp.quantize``          ``BlockFloatTensor.from_float`` body
 ``bfp.dequantize``        ``BlockFloatTensor.to_float`` body
-``bfp.matmul``            ``bfp_matmul`` tile-lattice GEMM
-``systolic.run``          ``SystolicArray.run`` register model
+``bfp.matmul``            ``bfp_matmul`` tile-lattice GEMM (compiled*)
+``systolic.run``          ``SystolicArray.run`` register model (compiled*)
+``systolic.stream``       ``SystolicArray.run_stream`` tile stream
 ``im2col.pack``           ``im2col`` convolution lowering
 ========================  ============================================
 """
 
 from repro.kernels import (
+    compiled,
     fast_bfp,
     fast_im2col,
     fast_systolic,
@@ -39,6 +46,7 @@ from repro.kernels import (
 from repro.kernels.registry import (
     BACKENDS,
     KernelPair,
+    compiled_available,
     dispatch,
     dispatch_counts,
     get_backend,
@@ -53,6 +61,7 @@ from repro.kernels.registry import (
 __all__ = [
     "BACKENDS",
     "KernelPair",
+    "compiled_available",
     "dispatch",
     "dispatch_counts",
     "get_backend",
@@ -80,13 +89,21 @@ register_kernel(
     "bfp.matmul",
     ref_bfp.matmul,
     fast_bfp.matmul,
+    compiled=compiled.implementation("bfp.matmul"),
     doc="Tile-lattice integer GEMM with saturating accumulators.",
 )
 register_kernel(
     "systolic.run",
     ref_systolic.run,
     fast_systolic.run,
+    compiled=compiled.implementation("systolic.run"),
     doc="Weight-stationary systolic array (values + cycle counts).",
+)
+register_kernel(
+    "systolic.stream",
+    ref_systolic.run_stream,
+    fast_systolic.run_stream,
+    doc="A tile stream through one array: back-to-back, no reload.",
 )
 register_kernel(
     "im2col.pack",

@@ -1,0 +1,175 @@
+"""Optional numba-compiled kernel tier (the third backend).
+
+The two hottest kernels by bench time — ``systolic.run`` and
+``bfp.matmul`` — get JIT-compiled mirrors of their *reference* loops:
+explicit scalar loops in the oracle's exact accumulation order, handed
+to numba instead of being vectorized. Where the ``fast`` backend wins
+by reshaping the computation into ufunc sweeps, the compiled tier wins
+by running the naive loops at native speed — same bit-exactness
+contract, checked by the same parity corpus when numba is present.
+
+numba is deliberately NOT a dependency: the import is guarded and the
+whole tier is absent when it fails. :func:`available` is the single
+truth source — ``set_backend("compiled")`` raises without it, the
+``REPRO_KERNEL_BACKEND=compiled`` environment path falls back to
+``fast`` (a worker fleet with heterogeneous images must not crash on
+the machines lacking numba), and the parity/CI jobs skip.
+
+The simulator drain loop itself is *not* compiled: its hot path is
+dominated by calling back into arbitrary Python event callbacks, which
+a JIT boundary cannot cross without paying more in transitions than
+the loop costs (measured; see DESIGN's event-loop chapter).
+
+Do not import this module outside ``repro.kernels`` and tests — call
+sites go through :func:`repro.kernels.dispatch` (lint rule EQX308).
+"""
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["available", "bfp_matmul", "systolic_run"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _njit
+
+    _AVAILABLE = True
+except Exception:  # pragma: no cover - the common case in CI images
+    _njit = None
+    _AVAILABLE = False
+
+
+def available() -> bool:
+    """Whether the compiled tier can actually run on this machine."""
+    return _AVAILABLE
+
+
+_systolic_values = None
+_bfp_accumulate = None
+
+
+def _build() -> None:
+    """Compile the jitted bodies on first use (lazy: importing the
+    package must never trigger numba compilation)."""
+    global _systolic_values, _bfp_accumulate
+    if _systolic_values is not None:
+        return
+
+    @_njit(cache=True)
+    def systolic_values(x, weights, n, w, out):  # pragma: no cover
+        rows = x.shape[0]
+        for r in range(rows):
+            for j in range(n):
+                # Stage 0's w-lane MAC seeds the chain; stages 1..n-1
+                # fold in ascending order — the oracle's adder chain.
+                total = 0.0
+                for t in range(w):
+                    total += x[r, t] * weights[t, j]
+                for s in range(1, n):
+                    m = 0.0
+                    for t in range(w):
+                        m += x[r, s * w + t] * weights[s * w + t, j]
+                    total += m
+                out[r, j] = total
+
+    @_njit(cache=True)
+    def bfp_accumulate(  # pragma: no cover
+        a_m, a_exp, b_m, b_exp, br_a, k_blk, bc_b, frac, sat_hi, sat_lo, out
+    ):
+        grid_m, grid_k = a_exp.shape
+        grid_n = b_exp.shape[1]
+        for km in range(grid_k):  # ascending-K: the contract order
+            for im in range(grid_m):
+                for jn in range(grid_n):
+                    exp = int(a_exp[im, km]) + int(b_exp[km, jn])
+                    scale = 2.0 ** (exp - frac)
+                    for i in range(br_a):
+                        for j in range(bc_b):
+                            acc = np.int64(0)
+                            for k in range(k_blk):
+                                acc += (
+                                    a_m[im * br_a + i, km * k_blk + k]
+                                    * b_m[km * k_blk + k, jn * bc_b + j]
+                                )
+                            if acc > sat_hi:
+                                acc = sat_hi
+                            elif acc < sat_lo:
+                                acc = sat_lo
+                            out[im * br_a + i, jn * bc_b + j] += acc * scale
+
+    _systolic_values = systolic_values
+    _bfp_accumulate = bfp_accumulate
+
+
+def systolic_run(
+    x: np.ndarray, weights: np.ndarray, n: int, w: int
+) -> Tuple[np.ndarray, int, np.ndarray]:
+    """Compiled ``systolic.run``: jitted value loops + closed-form cycles."""
+    if not _AVAILABLE:  # pragma: no cover - guarded by dispatch layer
+        raise RuntimeError("compiled kernel tier requires numba")
+    _build()
+    rows = x.shape[0]
+    out = np.zeros((rows, n), dtype=np.float64)
+    _systolic_values(
+        np.ascontiguousarray(x, dtype=np.float64),
+        np.ascontiguousarray(weights, dtype=np.float64),
+        n, w, out,
+    )
+    completion = (
+        np.arange(rows, dtype=np.int64)[:, None]
+        + np.arange(n, dtype=np.int64)[None, :]
+        + (1 + n + n * w)
+    )
+    last_cycle = rows + (n - 1) + n + n * w
+    return out, last_cycle, completion
+
+
+def bfp_matmul(
+    a_mant: np.ndarray,
+    a_exp: np.ndarray,
+    b_mant: np.ndarray,
+    b_exp: np.ndarray,
+    a_fmt,
+    b_fmt,
+    logical_rows: int,
+    logical_cols: int,
+    accumulator_bits: int = 25,
+) -> np.ndarray:
+    """Compiled ``bfp.matmul``: jitted saturating tile-lattice GEMM."""
+    if not _AVAILABLE:  # pragma: no cover - guarded by dispatch layer
+        raise RuntimeError("compiled kernel tier requires numba")
+    _build()
+    mant_bits = a_fmt.mantissa_bits
+    frac = 2 * (mant_bits - 1)
+    sat_hi = np.int64(2 ** (accumulator_bits - 1) - 1)
+    sat_lo = np.int64(-(2 ** (accumulator_bits - 1)))
+    br_a, k_blk = a_fmt.block_rows, a_fmt.block_cols
+    bc_b = b_fmt.block_cols
+    grid_k, grid_n = b_exp.shape
+    if a_exp.shape[1] != grid_k:
+        raise ValueError("tile grids do not align along K")
+    grid_m = a_exp.shape[0]
+    out = np.zeros((grid_m * br_a, grid_n * bc_b), dtype=np.float64)
+    _bfp_accumulate(
+        np.ascontiguousarray(a_mant, dtype=np.int64),
+        np.ascontiguousarray(a_exp, dtype=np.int64),
+        np.ascontiguousarray(b_mant, dtype=np.int64),
+        np.ascontiguousarray(b_exp, dtype=np.int64),
+        br_a, k_blk, bc_b, frac, sat_hi, sat_lo, out,
+    )
+    return out[:logical_rows, :logical_cols].astype(np.float32)
+
+
+def implementation(name: str) -> Optional[Callable]:
+    """The compiled implementation for ``name``, or None when the pair
+    has no compiled mirror — or numba is absent entirely. A None here
+    makes the dispatch layer fall back to the fast backend, so a
+    per-call ``backend="compiled"`` degrades the same way the
+    environment-variable path does instead of exploding at call time.
+    """
+    if not _AVAILABLE:
+        return None
+    return {
+        "systolic.run": systolic_run,
+        "bfp.matmul": bfp_matmul,
+    }.get(name)

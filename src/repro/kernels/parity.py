@@ -135,6 +135,30 @@ def _systolic_case(
     return ParityCase("systolic.run", name, run)
 
 
+def _systolic_stream_case(
+    name: str, seed: int, tile_rows: Tuple[int, ...], n: int, w: int
+) -> ParityCase:
+    def run(backend: str) -> Dict[str, Any]:
+        rng = np.random.default_rng(seed)
+        weights = rng.standard_normal((n * w, n))
+        tiles = [rng.standard_normal((r, n * w)) for r in tile_rows]
+        outputs, last_cycle, completions = dispatch(
+            "systolic.stream", backend
+        )(tiles, weights, n, w)
+        # Per-tile keys so _diff compares ndarray to ndarray (the
+        # stream API returns lists).
+        payload: Dict[str, Any] = {
+            "last_cycle": last_cycle,
+            "tiles": len(outputs),
+        }
+        for k, (out, comp) in enumerate(zip(outputs, completions)):
+            payload[f"outputs/{k}"] = np.asarray(out)
+            payload[f"completion/{k}"] = np.asarray(comp)
+        return payload
+
+    return ParityCase("systolic.stream", name, run)
+
+
 def _im2col_case(
     name: str, seed: int, shape: Tuple[int, int, int, int],
     kernel: int, stride: int, padding: int, kind: str = "gaussian",
@@ -225,6 +249,19 @@ def corpus() -> List[ParityCase]:
     ]
     for i, (label, rows, n, w) in enumerate(systolic_grid):
         cases.append(_systolic_case(f"systolic/{label}", 500 + i, rows, n, w))
+
+    stream_grid = [
+        ("single-tile", (9,), 4, 4),
+        ("ragged", (3, 1, 7, 2), 3, 2),
+        ("single-rows", (1, 1, 1), 2, 3),
+        ("bursty", (16, 1, 5), 2, 8),
+    ]
+    for i, (label, tile_rows, n, w) in enumerate(stream_grid):
+        cases.append(
+            _systolic_stream_case(
+                f"systolic-stream/{label}", 600 + i, tile_rows, n, w
+            )
+        )
 
     im2col_grid = [
         ("1x1", (1, 1, 1, 1), 1, 1, 0, "gaussian"),

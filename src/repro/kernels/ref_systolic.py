@@ -22,7 +22,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["run"]
+__all__ = ["run", "run_stream"]
 
 
 @dataclass
@@ -114,3 +114,28 @@ def run(
         handoff = new_handoff
 
     return outputs, cycle, completion
+
+
+def run_stream(tiles, weights, n, w):
+    """Stream a sequence of tiles back-to-back through one array.
+
+    The array accepts one activation row per cycle with no bubble
+    between tiles (weight-stationary: the weights never reload), so
+    tile ``k`` starts entering on the cycle after tile ``k-1``'s last
+    row — its per-tile cycle counts shift by the rows already streamed.
+
+    Returns ``(outputs, last_cycle, completions)`` where ``outputs``
+    and ``completions`` are per-tile lists and ``last_cycle`` is the
+    cycle the final tile's last output leaves the FIFO.
+    """
+    outputs = []
+    completions = []
+    offset = 0
+    last_cycle = 0
+    for x in tiles:
+        out, last, completion = run(x, weights, n, w)
+        outputs.append(out)
+        completions.append(completion + offset)
+        last_cycle = offset + last
+        offset += x.shape[0]
+    return outputs, last_cycle, completions

@@ -1,0 +1,164 @@
+"""The pre-batching event loop, preserved as the perf baseline.
+
+This module is a verbatim-faithful copy of the simulator hot paths as
+they stood before the batch-drained engine landed: the heap stores
+:class:`Event` objects ordered by a Python-level ``__lt__`` (every
+heap operation pays ~log n interpreted comparisons, each building two
+tuples), scheduling always allocates a handle, and the drain loop
+peeks then pops one event at a time. It exists for exactly one
+consumer — the ``sim.drain.reference`` microbench arm — so the
+committed bench artifact measures the engine rewrite against the real
+code it replaced, not against a flattering reconstruction.
+
+Do not use this engine in product code: it predates the bugfix sweep
+(the profiler hoist below is the historical behaviour, kept because
+the baseline must price what the old loop actually did) and it is not
+wired into snapshots, the anonymous lane, or the equivalence suite.
+The semantics it shares with ``repro.sim.engine`` — firing order,
+stop reasons, clock advancement — are pinned by a trace-equality test
+so the two arms of the microbench provably simulate the same work.
+"""
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+STOP_DRAINED = "drained"
+STOP_UNTIL = "until"
+STOP_MAX_EVENTS = "max_events"
+
+
+class Event:
+    """A scheduled callback, heap-ordered by interpreted ``__lt__``."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "key", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        key: Optional[str] = None,
+    ):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.key = key
+        self._sim: Optional["Simulator"] = None  # set while in the heap
+
+    def cancel(self) -> None:
+        """Prevent this event from firing."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """The historical object-heap discrete-event simulator."""
+
+    _COMPACT_MIN_SIZE = 64
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Event] = []
+        self._seq_next = 0
+        self._events_processed = 0
+        self._cancelled_in_heap = 0
+        self._profiler: Optional[Any] = None
+
+    def _next_seq(self) -> int:
+        seq = self._seq_next
+        self._seq_next += 1
+        return seq
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._heap) - self._cancelled_in_heap
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_in_heap += 1
+        if (
+            len(self._heap) >= self._COMPACT_MIN_SIZE
+            and 2 * self._cancelled_in_heap > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        live = []
+        for event in self._heap:
+            if event.cancelled:
+                event._sim = None
+            else:
+                live.append(event)
+        heapq.heapify(live)
+        self._heap = live
+        self._cancelled_in_heap = 0
+
+    def set_profiler(self, profiler: Optional[Any]) -> None:
+        self._profiler = profiler
+
+    def at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        key: Optional[str] = None,
+    ) -> Event:
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} < now {self.now}")
+        event = Event(float(time), self._next_seq(), callback, key)
+        event._sim = self
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        key: Optional[str] = None,
+    ) -> Event:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.at(self.now + delay, callback, key)
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> str:
+        processed = 0
+        # Historical behaviour, preserved on purpose: the profiler is
+        # hoisted for the whole run (the bug the new engine's per-batch
+        # re-read fixed).
+        profiler = self._profiler
+        stop = STOP_DRAINED
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)._sim = None
+                self._cancelled_in_heap -= 1
+                continue
+            if until is not None and event.time > until:
+                stop = STOP_UNTIL
+                break
+            if max_events is not None and processed >= max_events:
+                return STOP_MAX_EVENTS
+            heapq.heappop(self._heap)._sim = None
+            self.now = event.time
+            if profiler is None:
+                event.callback()
+            else:
+                profiler.before_event(event, len(self._heap))
+                event.callback()
+                profiler.after_event(event)
+            self._events_processed += 1
+            processed += 1
+        if until is not None and self.now < until:
+            self.now = float(until)
+        return stop

@@ -80,7 +80,9 @@ class SerialResource:
                 on_done()
             self._pump()
 
-        self.sim.after(duration, _complete)
+        # Completions are never cancelled: use the anonymous lane and
+        # skip the Event allocation on the busiest event class.
+        self.sim.after_call(duration, _complete)
 
     def utilization(self, horizon: Optional[float] = None) -> float:
         """Fraction of cycles busy over ``horizon`` (default: now)."""
@@ -208,7 +210,7 @@ class BandwidthChannel:
             if on_done is None:
                 return
             if self.fixed_latency > 0:
-                self.sim.after(self.fixed_latency, on_done)
+                self.sim.after_call(self.fixed_latency, on_done)
             else:
                 on_done()
 

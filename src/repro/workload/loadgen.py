@@ -12,7 +12,7 @@ the queue late). Both are sampled from a seeded fault-plan substream,
 so a lossy trace replays identically.
 """
 
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -26,6 +26,23 @@ class ArrivalProcess:
 
     def next_gap(self) -> float:
         raise NotImplementedError
+
+    def next_gaps(self, n: int) -> List[float]:
+        """``n`` consecutive gaps, identical to ``n`` next_gap() calls.
+
+        The contract is *stream equality*: the returned gaps AND the
+        generator's post-call RNG position must match the scalar loop
+        exactly, so callers may mix scalar and batched draws freely.
+        This generic fallback simply loops; subclasses with
+        data-independent draws override it with one vectorized draw
+        (see :meth:`PoissonArrivals.next_gaps`). Processes whose draw
+        count depends on sampled values (:class:`FaultyArrivals`' drop
+        loop) must keep the loop — a fixed-size vector draw would
+        consume the wrong number of variates.
+        """
+        if n < 0:
+            raise ValueError(f"negative batch size {n}")
+        return [self.next_gap() for _ in range(n)]
 
 
 class PoissonArrivals(ArrivalProcess):
@@ -41,10 +58,20 @@ class PoissonArrivals(ArrivalProcess):
         if rate_per_cycle <= 0:
             raise ValueError("arrival rate must be positive")
         self.rate_per_cycle = rate_per_cycle
+        self._scale = 1.0 / rate_per_cycle
         self._rng = np.random.default_rng(seed)
 
     def next_gap(self) -> float:
-        return float(self._rng.exponential(1.0 / self.rate_per_cycle))
+        return float(self._rng.exponential(self._scale))
+
+    def next_gaps(self, n: int) -> List[float]:
+        """One vectorized exponential draw, stream-equal to ``n``
+        scalar draws — numpy fills the array with the same ziggurat
+        routine the scalar path runs, so the variates and the final RNG
+        position are bit-identical (locked by test)."""
+        if n < 0:
+            raise ValueError(f"negative batch size {n}")
+        return self._rng.exponential(self._scale, n).tolist()
 
     def to_state(self) -> Dict[str, Any]:
         """Snapshot (``repro.state`` contract): rate + RNG position."""
@@ -52,6 +79,7 @@ class PoissonArrivals(ArrivalProcess):
 
     def from_state(self, state: Dict[str, Any]) -> None:
         self.rate_per_cycle = float(state["rate_per_cycle"])
+        self._scale = 1.0 / self.rate_per_cycle
         restore_rng(self._rng, state["rng"])
 
 

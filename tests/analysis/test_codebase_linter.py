@@ -258,6 +258,37 @@ class TestKernelImplImport:
         assert "EQX308" not in _ids(lint_source(source, path=EVAL_PATH))
 
 
+class TestDirectHeapq:
+    def test_eqx309_plain_import(self):
+        source = "import heapq\n\nH = heapq.heappush\n"
+        diags = lint_source(source, path=CORE_PATH)
+        assert "EQX309" in _ids(diags)
+
+    def test_eqx309_from_import(self):
+        source = "from heapq import heappush, heappop\n\nH = (heappush, heappop)\n"
+        assert "EQX309" in _ids(lint_source(source, path=EVAL_PATH))
+
+    def test_sim_package_owns_the_heap(self):
+        source = "import heapq\n\nH = heapq.heappush\n"
+        assert "EQX309" not in _ids(
+            lint_source(source, path="src/repro/sim/engine.py")
+        )
+
+    def test_tests_may_build_reference_heaps(self):
+        source = "import heapq\n\nH = heapq.heappush\n"
+        assert "EQX309" not in _ids(
+            lint_source(source, path="tests/sim/test_batch_drain.py")
+        )
+
+    def test_other_imports_unflagged(self):
+        source = "import heapq_like_lib\n\nL = heapq_like_lib\n"
+        assert "EQX309" not in _ids(lint_source(source, path=CORE_PATH))
+
+    def test_suppression(self):
+        source = "import heapq  # eqx: ignore[EQX309]\n\nH = heapq.heappush\n"
+        assert "EQX309" not in _ids(lint_source(source, path=CORE_PATH))
+
+
 class TestOrdering:
     def test_diagnostics_sorted_by_line(self):
         source = (

@@ -84,6 +84,131 @@ class TestKernelPairs:
         assert "kernels.im2col" in text
 
 
+class TestSimDrainPair:
+    """The event-loop microbench entries (old scheme vs new scheme)."""
+
+    def test_both_arms_pinned(self):
+        suite = bench.pinned_kernels()
+        assert "sim.drain.reference" in suite
+        assert "sim.drain.batched" in suite
+
+    def test_work_proofs_identical(self):
+        """Both arms fire the same events at the same times — the
+        arrival stream is stream-equal by the next_gaps contract."""
+        suite = bench.pinned_kernels()
+        _, reference = suite["sim.drain.reference"]
+        _, batched = suite["sim.drain.batched"]
+        assert reference() == batched()
+
+    def test_speedups_pair_reference_with_batched(self):
+        doc = bench.run_suite(
+            repeats=1,
+            kernels=["sim.drain.reference", "sim.drain.batched"],
+        )
+        record = doc["speedups"]["sim.drain"]
+        assert record["speedup"] == pytest.approx(
+            record["reference_s"] / record["fast_s"]
+        )
+        assert bench.validate_bench(doc) == []
+
+
+def _synthetic_doc(times, created=1000, work=None):
+    """A minimal valid BENCH document with the given kernel min times."""
+    kernels = {}
+    for name, min_s in times.items():
+        kernels[name] = {
+            "description": name,
+            "repeats": 1,
+            "wall_s": {"min": min_s, "mean": min_s, "max": min_s},
+            "per_repeat_s": [min_s],
+            "work": 1.0 if work is None else work.get(name, 1.0),
+        }
+    return {
+        "schema": bench.BENCH_SCHEMA,
+        "code_version": "f" * 64,
+        "python": "3.11.0",
+        "platform": "test",
+        "cpu_count": 1,
+        "created_unix": created,
+        "kernels": kernels,
+    }
+
+
+class TestDiff:
+    def test_no_regression_within_tolerance(self):
+        base = _synthetic_doc({"a": 0.010, "b": 0.020})
+        cur = _synthetic_doc({"a": 0.015, "b": 0.019})
+        regressions, notes = bench.diff_benches(base, cur, tolerance=2.0)
+        assert regressions == []
+        assert notes == []
+
+    def test_regression_past_tolerance_flagged(self):
+        base = _synthetic_doc({"a": 0.010})
+        cur = _synthetic_doc({"a": 0.025})
+        regressions, _ = bench.diff_benches(base, cur, tolerance=2.0)
+        assert len(regressions) == 1
+        assert "a:" in regressions[0]
+        assert "2.50x" in regressions[0]
+
+    def test_exactly_at_tolerance_passes(self):
+        base = _synthetic_doc({"a": 0.010})
+        cur = _synthetic_doc({"a": 0.020})
+        regressions, _ = bench.diff_benches(base, cur, tolerance=2.0)
+        assert regressions == []
+
+    def test_one_sided_kernels_are_notes_not_failures(self):
+        base = _synthetic_doc({"a": 0.010, "gone": 0.010})
+        cur = _synthetic_doc({"a": 0.010, "new": 0.010})
+        regressions, notes = bench.diff_benches(base, cur)
+        assert regressions == []
+        assert any("gone" in note for note in notes)
+        assert any("new" in note for note in notes)
+
+    def test_work_proof_drift_is_a_note(self):
+        base = _synthetic_doc({"a": 0.010}, work={"a": 5.0})
+        cur = _synthetic_doc({"a": 0.010}, work={"a": 6.0})
+        regressions, notes = bench.diff_benches(base, cur)
+        assert regressions == []
+        assert any("work proof changed" in note for note in notes)
+
+    def test_bad_tolerance_rejected(self):
+        base = _synthetic_doc({"a": 0.010})
+        with pytest.raises(ValueError, match="tolerance"):
+            bench.diff_benches(base, base, tolerance=1.0)
+
+    def test_latest_bench_path_picks_newest_stamp(self, tmp_path):
+        old = _synthetic_doc({"a": 0.010}, created=100)
+        new = _synthetic_doc({"a": 0.010}, created=200)
+        (tmp_path / "BENCH_aaa.json").write_text(json.dumps(new))
+        (tmp_path / "BENCH_bbb.json").write_text(json.dumps(old))
+        assert bench.latest_bench_path(tmp_path) == str(
+            tmp_path / "BENCH_aaa.json"
+        )
+
+    def test_latest_bench_path_skips_invalid_files(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        (tmp_path / "BENCH_schema.json").write_text(json.dumps({"schema": "x"}))
+        good = _synthetic_doc({"a": 0.010}, created=50)
+        (tmp_path / "BENCH_good.json").write_text(json.dumps(good))
+        assert bench.latest_bench_path(tmp_path) == str(
+            tmp_path / "BENCH_good.json"
+        )
+
+    def test_latest_bench_path_empty_dir(self, tmp_path):
+        assert bench.latest_bench_path(tmp_path) is None
+
+    def test_committed_baseline_is_discoverable(self):
+        """The repo must always carry a valid baseline for the CI gate."""
+        import pathlib
+
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        path = bench.latest_bench_path(repo / "benchmarks")
+        assert path is not None
+        with open(path) as handle:
+            data = json.load(handle)
+        assert bench.validate_bench(data) == []
+
+
 class TestValidation:
     def test_valid_document_passes(self, quick_doc):
         assert bench.validate_bench(quick_doc) == []

@@ -47,6 +47,58 @@ class TestIssue:
             mmu.issue(_job(), 4, "inference", queue="prefetch")
 
 
+class TestIssueBatch:
+    def test_timing_identical_to_scalar_issues(self, sim, tiny_config):
+        """One pump for a whole stream must reproduce the per-job-pump
+        schedule exactly — pump() is a no-op while the unit is busy."""
+        records = {}
+        for mode in ("scalar", "batch"):
+            local = type(sim)()
+            mmu = MatrixMultiplyUnit(local, tiny_config)
+            events = []
+            jobs = [_job(10, rows=4), _job(7, rows=4), _job(3, rows=2)]
+
+            def on_issue(events=events, local=local):
+                events.append(("issue", local.now))
+
+            def on_done(events=events, local=local):
+                events.append(("done", local.now))
+
+            if mode == "scalar":
+                for job in jobs:
+                    mmu.issue(job, min(3, job.rows), "inference",
+                              on_done=on_done, on_issue=on_issue)
+            else:
+                count = mmu.issue_batch(
+                    jobs,
+                    real_rows_fn=lambda job: min(3, job.rows),
+                    context="inference",
+                    on_done=on_done,
+                    on_issue=on_issue,
+                )
+                assert count == 3
+            local.run()
+            records[mode] = (events, local.now, local.events_processed)
+        assert records["scalar"] == records["batch"]
+
+    def test_empty_stream_is_a_no_op(self, sim, mmu):
+        assert mmu.issue_batch([], lambda job: 0, "inference") == 0
+        sim.run()
+        assert sim.events_processed == 0
+
+    def test_rejects_bad_real_rows(self, mmu):
+        with pytest.raises(ValueError):
+            mmu.issue_batch(
+                [_job(rows=4)], lambda job: job.rows + 1, "inference"
+            )
+
+    def test_rejects_unknown_queue(self, mmu):
+        with pytest.raises(KeyError):
+            mmu.issue_batch(
+                [_job()], lambda job: job.rows, "inference", queue="prefetch"
+            )
+
+
 class TestAccounting:
     def test_full_batch_all_working(self, sim, mmu):
         mmu.issue(_job(cycles=10, rows=4, util=1.0), 4, "inference")

@@ -90,6 +90,51 @@ class TestTiming:
         assert completion.max() == last_cycle
 
 
+class TestRunStream:
+    """A tile stream is one timeline: per-tile runs with cumulative row
+    offsets must equal the stream entry point, bit for bit."""
+
+    @pytest.mark.parametrize("backend", ["reference", "fast"])
+    def test_equals_per_tile_runs_with_offsets(self, backend):
+        array, _ = _array(3, 2, seed=9)
+        rng = np.random.default_rng(21)
+        tiles = [rng.standard_normal((r, 6)) for r in (4, 1, 7, 2)]
+        outs, last_cycle, completions = array.run_stream(
+            tiles, backend=backend
+        )
+        offset = 0
+        for tile, out, completion in zip(tiles, outs, completions):
+            ref_out, ref_last, ref_completion = array.run(
+                tile, backend=backend
+            )
+            assert np.array_equal(out, ref_out)
+            assert np.array_equal(completion, ref_completion + offset)
+            offset += tile.shape[0]
+        assert last_cycle == offset + (3 - 1) + 3 + 3 * 2
+
+    def test_backends_bit_identical(self):
+        array, _ = _array(4, 3, seed=10)
+        rng = np.random.default_rng(22)
+        tiles = [rng.standard_normal((r, 12)) for r in (5, 1, 3)]
+        ref = array.run_stream(tiles, backend="reference")
+        fast = array.run_stream(tiles, backend="fast")
+        assert ref[1] == fast[1]
+        for a, b in zip(ref[0], fast[0]):
+            assert np.array_equal(a, b)
+        for a, b in zip(ref[2], fast[2]):
+            assert np.array_equal(a, b)
+
+    def test_empty_stream(self):
+        array, _ = _array(2, 2)
+        outs, last_cycle, completions = array.run_stream([])
+        assert outs == [] and completions == [] and last_cycle == 0
+
+    def test_rejects_bad_tile_shape(self):
+        array, _ = _array(2, 2)
+        with pytest.raises(ValueError, match="stream tile 1"):
+            array.run_stream([np.zeros((2, 4)), np.zeros((2, 5))])
+
+
 class TestValidation:
     def test_rejects_bad_weight_shape(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,127 @@
+"""The optional numba-compiled kernel tier and its degradation paths.
+
+numba is deliberately not a dependency, so most of this file tests the
+*absence* behavior — loud failure for explicit requests, silent
+fallback for ambient ones — and the parity checks only run where numba
+is importable.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.kernels import compiled, registry
+
+REPO = Path(__file__).resolve().parents[2]
+
+HAS_NUMBA = kernels.compiled_available()
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    previous = kernels.get_backend()
+    yield
+    kernels.set_backend(previous)
+
+
+class TestAvailability:
+    def test_registry_mirrors_module(self):
+        assert kernels.compiled_available() is compiled.available()
+
+    def test_pairs_without_mirror_fall_back_to_fast(self):
+        pair = kernels.get_kernel("im2col.pack")
+        assert pair.compiled is None
+        assert pair.implementation("compiled") is pair.fast
+
+    def test_hot_pairs_carry_mirror_iff_numba(self):
+        for name in ("systolic.run", "bfp.matmul"):
+            pair = kernels.get_kernel(name)
+            if HAS_NUMBA:
+                assert pair.compiled is not None
+            else:
+                assert pair.compiled is None
+
+    def test_implementation_lookup_none_without_numba(self):
+        if not HAS_NUMBA:
+            assert compiled.implementation("systolic.run") is None
+            assert compiled.implementation("bfp.matmul") is None
+        assert compiled.implementation("no.such.kernel") is None
+
+
+@pytest.mark.skipif(HAS_NUMBA, reason="numba importable: no degradation")
+class TestWithoutNumba:
+    def test_set_backend_raises(self):
+        with pytest.raises(RuntimeError, match="requires numba"):
+            kernels.set_backend("compiled")
+
+    def test_use_backend_raises(self):
+        with pytest.raises(RuntimeError, match="requires numba"):
+            with kernels.use_backend("compiled"):
+                pass  # pragma: no cover
+
+    def test_per_call_dispatch_degrades_to_fast(self):
+        impl = kernels.dispatch("systolic.run", backend="compiled")
+        assert impl is kernels.get_kernel("systolic.run").fast
+
+    def test_env_override_falls_back_to_fast(self):
+        """A worker fleet with heterogeneous images must not crash on
+        the machines lacking numba: the env path degrades silently."""
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        env["REPRO_KERNEL_BACKEND"] = "compiled"
+        result = subprocess.run(
+            [sys.executable, "-c",
+             "from repro import kernels; print(kernels.get_backend())"],
+            env=env, capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "fast"
+
+
+@pytest.mark.skipif(not HAS_NUMBA, reason="numba not importable")
+class TestCompiledParity:
+    """Where numba exists, the compiled mirrors join the bit-exactness
+    contract — the same corpus, reference vs compiled."""
+
+    def test_corpus_parity_reference_vs_compiled(self):
+        from repro.kernels import parity
+
+        problems = []
+        for case in parity.corpus():
+            if case.kernel not in ("systolic.run", "bfp.matmul"):
+                continue
+            ref = case.run("reference")
+            comp = case.run("compiled")
+            for key in ref:
+                problems.extend(parity._diff(f"{case.name}:{key}",
+                                             ref[key], comp[key]))
+        assert problems == [], "\n".join(problems)
+
+    def test_set_backend_compiled_roundtrip(self):
+        previous = kernels.set_backend("compiled")
+        assert kernels.get_backend() == "compiled"
+        kernels.set_backend(previous)
+
+    def test_systolic_run_values(self):
+        rng = np.random.default_rng(3)
+        n, w, rows = 3, 2, 5
+        x = rng.standard_normal((rows, n * w))
+        weights = rng.standard_normal((n * w, n))
+        ref = kernels.dispatch("systolic.run", "reference")(x, weights, n, w)
+        comp = kernels.dispatch("systolic.run", "compiled")(x, weights, n, w)
+        assert np.array_equal(ref[0], comp[0])
+        assert ref[1] == comp[1]
+        assert np.array_equal(ref[2], comp[2])
+
+
+class TestBackendsContract:
+    def test_compiled_is_a_registered_backend(self):
+        assert "compiled" in registry.BACKENDS
+
+    def test_unknown_backend_still_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.dispatch("systolic.run", backend="jit")

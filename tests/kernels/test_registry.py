@@ -100,7 +100,7 @@ class TestRegistry:
     def test_all_pairs_registered(self):
         assert kernels.kernel_names() == (
             "bfp.dequantize", "bfp.matmul", "bfp.quantize",
-            "im2col.pack", "systolic.run",
+            "im2col.pack", "systolic.run", "systolic.stream",
         )
 
     def test_pair_resolves_both_sides(self):
@@ -153,7 +153,7 @@ class TestDispatch:
 
 class TestRegistryModule:
     def test_backends_tuple_is_contract_order(self):
-        assert registry.BACKENDS == ("reference", "fast")
+        assert registry.BACKENDS == ("reference", "fast", "compiled")
 
     def test_env_var_name_is_stable_api(self):
         # CI and the docs reference this name.

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.workload.loadgen import PoissonArrivals, TraceArrivals, UniformArrivals
+from repro.workload.loadgen import (
+    FaultyArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    UniformArrivals,
+)
 
 
 class TestPoisson:
@@ -33,6 +38,74 @@ class TestPoisson:
     def test_rejects_bad_rate(self):
         with pytest.raises(ValueError):
             PoissonArrivals(0.0)
+
+
+class TestNextGapsStreamEquality:
+    """``next_gaps(n)`` must consume the RNG exactly like n scalar
+    draws — the batched admission path in ``core.equinox`` relies on it
+    for bit-identical arrival times."""
+
+    def test_poisson_vectorized_equals_scalar(self):
+        scalar = PoissonArrivals(0.02, seed=13)
+        batched = PoissonArrivals(0.02, seed=13)
+        expected = [scalar.next_gap() for _ in range(37)]
+        got = batched.next_gaps(37)
+        assert got == expected
+
+    def test_poisson_final_rng_state_identical(self):
+        scalar = PoissonArrivals(0.02, seed=14)
+        batched = PoissonArrivals(0.02, seed=14)
+        for _ in range(25):
+            scalar.next_gap()
+        batched.next_gaps(25)
+        assert scalar.to_state() == batched.to_state()
+        # and the streams stay merged afterwards
+        assert scalar.next_gap() == batched.next_gap()
+
+    def test_mixed_blocks_equal_one_stream(self):
+        scalar = PoissonArrivals(0.02, seed=15)
+        batched = PoissonArrivals(0.02, seed=15)
+        expected = [scalar.next_gap() for _ in range(10)]
+        got = batched.next_gaps(3) + [batched.next_gap()] + batched.next_gaps(6)
+        assert got == expected
+
+    def test_zero_draws_is_a_no_op(self):
+        arrivals = PoissonArrivals(0.02, seed=16)
+        state = arrivals.to_state()
+        assert arrivals.next_gaps(0) == []
+        assert arrivals.to_state() == state
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.02, seed=17).next_gaps(-1)
+
+    def test_uniform_fallback_loop(self):
+        arrivals = UniformArrivals(gap_cycles=50.0)
+        assert arrivals.next_gaps(4) == [50.0] * 4
+
+    def test_faulty_arrivals_keeps_scalar_fallback(self):
+        """FaultyArrivals draws a data-dependent amount of randomness
+        per gap, so it must inherit the generic scalar loop — the
+        vectorized one-shot draw would desynchronize its streams."""
+        from repro.faults.counters import FaultCounters
+        from repro.faults.plan import FaultPlan, RequestFaultSpec
+
+        def build():
+            plan = FaultPlan(
+                seed=5,
+                requests=RequestFaultSpec(
+                    drop_rate=0.3, delay_rate=0.2, delay_cycles=10.0
+                ),
+            )
+            return FaultyArrivals(
+                PoissonArrivals(0.02, seed=18), plan, FaultCounters()
+            )
+
+        scalar = build()
+        batched = build()
+        expected = [scalar.next_gap() for _ in range(20)]
+        assert batched.next_gaps(20) == expected
+        assert batched.counters.requests_dropped == scalar.counters.requests_dropped
 
 
 class TestUniform:
