@@ -7,6 +7,7 @@
     python -m repro all
     python -m repro analyze --format json --fail-on error
     python -m repro chaos --seed 7 --jobs auto --report-dir artifacts
+    python -m repro serve --fleet 16 --tenants 3 --report-dir artifacts
     python -m repro sweep --jobs 8 --report-dir artifacts
     python -m repro bench --out-dir artifacts
     python -m repro fig2 --kernel-backend reference
@@ -23,7 +24,9 @@ out over independent work units run them through the
 The ``analyze`` subcommand runs the static program verifier and
 codebase lint (see :mod:`repro.analysis`); ``chaos`` runs the seeded
 fault-injection scenario matrix (see :mod:`repro.faults.chaos`) and
-prints the degradation table with its determinism self-check; ``sweep``
+prints the degradation table with its determinism self-check; ``serve``
+runs the multi-tenant fleet-serving matrix (see :mod:`repro.serve`) and
+emits the ``repro.serve/fleet-report/v1`` artifact; ``sweep``
 and ``bench`` are the execution engine's own entry points (design-space
 sweep and the pinned perf-trajectory suite, see :mod:`repro.exec.cli`);
 ``metrics`` dumps, validates and diffs run artifacts (see
@@ -193,6 +196,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     exec_cli.add_executor_arguments(chaos)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="multi-tenant SLO-tiered fleet serving matrix",
+        description="Run the tenant-mix serving matrix over a simulated "
+        "chip fleet: sustained RPS and p50/p99/p999 per SLO class per "
+        "fleet size, with chip-kill failover. Every scenario runs twice "
+        "from its seed; the exit status is the determinism self-check.",
+    )
+    serve.add_argument(
+        "--fleet", type=int, nargs="+", default=None, metavar="N",
+        help="fleet sizes to sweep (strictly increasing)",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=None,
+        help="number of tenants (the default 3-class mix, cycled)",
+    )
+    serve.add_argument(
+        "--requests-per-chip", type=int, default=None,
+        help="measured requests per chip per scenario",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=None,
+        help="base seed for arrivals, placement and kill times",
+    )
+    serve.add_argument(
+        "--report-dir", default=None,
+        help="write the fleet-report artifact as <dir>/serve.fleet.json",
+    )
+    serve.add_argument(
+        "--validate-only", default=None, metavar="PATH",
+        help="validate an existing fleet-report artifact and exit",
+    )
+    exec_cli.add_executor_arguments(serve)
+
     sweep = subparsers.add_parser(
         "sweep",
         help="design-space sweep through the execution engine",
@@ -298,6 +335,43 @@ def _dispatch(args, shutdown) -> int:
                 _write_artifact(artifact, args.report_dir)
         rows = result["rows"]
         return 0 if all(r.reproducible for r in rows) else 1
+    if args.command == "serve":
+        # Imported lazily, like chaos: the serving fabric pulls in the
+        # dispatcher/fleet layers the experiment subcommands never need.
+        from repro import serve as serve_mod
+
+        if args.validate_only is not None:
+            with open(args.validate_only) as handle:
+                data = json.load(handle)
+            problems = serve_mod.validate_fleet_report(data)
+            for problem in problems:
+                print(f"invalid fleet report: {problem}", file=sys.stderr)
+            if not problems:
+                print(f"[serve] {args.validate_only}: valid")
+            return 0 if not problems else 1
+        kwargs = {}
+        if args.fleet is not None:
+            kwargs["fleet_sizes"] = args.fleet
+        if args.tenants is not None:
+            kwargs["tenants"] = serve_mod.default_tenants(args.tenants)
+        if args.requests_per_chip is not None:
+            kwargs["requests_per_chip"] = args.requests_per_chip
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        executor = exec_cli.runner_from_args(args, shutdown=shutdown)
+        if executor is not None:
+            kwargs["executor"] = executor
+        started = time.time()
+        report = serve_mod.run(**kwargs)
+        print(serve_mod.render(report))
+        print(f"\n[serve completed in {time.time() - started:.1f}s]\n")
+        if args.report_dir is not None:
+            os.makedirs(args.report_dir, exist_ok=True)
+            path = os.path.join(args.report_dir, "serve.fleet.json")
+            with open(path, "w") as handle:
+                handle.write(report.to_json() + "\n")
+            print(f"[artifact] {path}")
+        return 0 if report.reproducible else 1
     if args.command == "metrics":
         from repro.obs import cli as metrics_cli
 

@@ -46,6 +46,12 @@ parsed module. Shipping rules:
   (and tests). The simulator owns the event heap; a second heap
   elsewhere schedules work the engine cannot order, cancel, count in
   ``queue_depth`` or snapshot.
+* **EQX310 unkeyed-serve-rng** — ambient randomness inside
+  ``repro.serve``: any ``random`` import/use, and any
+  ``np.random``/``numpy.random`` attribute use other than
+  ``default_rng`` called *with a seed*. Fleet reports promise
+  byte-identical output across ``--jobs`` values, which only seeded,
+  crc32-keyed substreams can deliver.
 
 Suppression: append ``# eqx: ignore[EQX301]`` (or ``# eqx: ignore`` for
 all rules) to the offending line; ``# eqx: disable=EQX301,EQX304`` is
@@ -601,6 +607,111 @@ class DirectHeapqRule(LintRule):
         return diags
 
 
+class UnkeyedServeRngRule(LintRule):
+    """EQX310: ambient randomness inside the serving package.
+
+    ``repro.serve`` promises byte-identical fleet reports across
+    ``--jobs`` settings, which only holds if every draw comes from a
+    seeded, crc32-keyed substream. This rule bans the two ambient
+    routes in that package: the stdlib ``random`` module (any import
+    or module-attribute use) and ``np.random``/``numpy.random``
+    attribute use — except ``default_rng`` called *with a seed
+    argument*, the keyed-substream constructor itself.
+    """
+
+    rule = rules.UNKEYED_SERVE_RNG
+
+    _DEFAULT_RNG = {"np.random.default_rng", "numpy.random.default_rng"}
+
+    def applies_to(self, context: LintContext) -> bool:
+        return context.in_package("serve")
+
+    def check(self, tree: ast.Module, context: LintContext) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        #: Attribute nodes consumed by a seeded default_rng call — the
+        #: one sanctioned np.random access, skipped in the walk below.
+        allowed: Set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                name = _dotted_name(node.func)
+                if name in self._DEFAULT_RNG:
+                    if not (node.args or node.keywords):
+                        diags.append(rules.diagnostic(
+                            self.rule,
+                            f"{name}() without a seed draws from OS "
+                            "entropy — pass the keyed substream seed "
+                            "([seed, zlib.crc32(label), instance])",
+                            file=context.path, line=node.lineno,
+                        ))
+                    # Whether seeded (sanctioned) or already reported
+                    # above, don't re-flag the attribute chain itself.
+                    chain: ast.AST = node.func
+                    while isinstance(chain, ast.Attribute):
+                        allowed.add(id(chain))
+                        chain = chain.value
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    if top == "random" or alias.name in (
+                        "numpy.random", "np.random"
+                    ):
+                        diags.append(rules.diagnostic(
+                            self.rule,
+                            f"import {alias.name} inside repro.serve: "
+                            "draw through seeded crc32-keyed substreams "
+                            "instead",
+                            file=context.path, line=node.lineno,
+                        ))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is not None and (
+                    node.module == "random"
+                    or node.module.startswith("random.")
+                    or node.module in ("numpy.random", "np.random")
+                ):
+                    diags.append(rules.diagnostic(
+                        self.rule,
+                        f"from {node.module} import inside repro.serve: "
+                        "draw through seeded crc32-keyed substreams "
+                        "instead",
+                        file=context.path, line=node.lineno,
+                    ))
+                elif node.module in ("numpy", "np") and any(
+                    alias.name == "random" for alias in node.names
+                ):
+                    diags.append(rules.diagnostic(
+                        self.rule,
+                        "from numpy import random inside repro.serve: "
+                        "draw through seeded crc32-keyed substreams "
+                        "instead",
+                        file=context.path, line=node.lineno,
+                    ))
+            elif isinstance(node, ast.Attribute) and id(node) not in allowed:
+                name = _dotted_name(node)
+                if name is None:
+                    continue
+                if (
+                    name.startswith("random.")
+                    or name.startswith("np.random.")
+                    or name.startswith("numpy.random.")
+                    or name in ("np.random", "numpy.random")
+                ):
+                    diags.append(rules.diagnostic(
+                        self.rule,
+                        f"{name} inside repro.serve bypasses the keyed-"
+                        "substream discipline — use np.random."
+                        "default_rng([seed, zlib.crc32(label), "
+                        "instance]) or FaultPlan.rng",
+                        file=context.path, line=node.lineno,
+                    ))
+                    # One report per chain (walk is parents-first).
+                    chain = node.value
+                    while isinstance(chain, ast.Attribute):
+                        allowed.add(id(chain))
+                        chain = chain.value
+        return diags
+
+
 #: The shipped rule set, in catalog order.
 DEFAULT_RULES: Tuple[LintRule, ...] = (
     DtypeLeakRule(),
@@ -612,6 +723,7 @@ DEFAULT_RULES: Tuple[LintRule, ...] = (
     AdhocConfigDumpRule(),
     KernelImplImportRule(),
     DirectHeapqRule(),
+    UnkeyedServeRngRule(),
 )
 
 

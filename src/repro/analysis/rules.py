@@ -163,6 +163,15 @@ DIRECT_HEAPQ = _register(Rule(
     "through Simulator.at/after (or at_call/after_call for "
     "fire-and-forget work) instead.",
 ))
+UNKEYED_SERVE_RNG = _register(Rule(
+    "EQX310", "unkeyed-serve-rng", Severity.ERROR,
+    "Module-level random / numpy.random use inside repro.serve: fleet "
+    "scenarios promise byte-identical reports for any --jobs value, "
+    "so every draw must come from a seeded, crc32-keyed substream "
+    "(np.random.default_rng([seed, zlib.crc32(label), instance]) or a "
+    "FaultPlan.rng stream) — ambient generators shared across workers "
+    "break that silently.",
+))
 
 # ---------------------------------------------------------------- EQX4xx
 # Whole-program rules: judged against the interprocedural call graph

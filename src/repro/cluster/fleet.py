@@ -33,6 +33,7 @@ from repro.models.graph import ModelSpec
 from repro.models.lstm import deepbench_lstm
 from repro.models.training import build_training_plan
 from repro.obs.report import RunReport
+from repro.serve.router import FleetRouter
 from repro.state.checkpoint import CheckpointStore
 
 
@@ -196,6 +197,9 @@ class EquinoxFleet:
         #: Updated as workers finish measuring; pass back via
         #: ``train(..., resume_from=...)`` to recover a crashed round.
         self.last_checkpoint: Optional[RoundCheckpoint] = None
+        #: Serving-plane view of this fleet, built on demand by
+        #: :meth:`serving_router` (``repro.serve``).
+        self.router: Optional[FleetRouter] = None
 
     def _worker_fault_plan(self, worker_id: int) -> Optional[FaultPlan]:
         """The plan forwarded into one worker's accelerator simulation.
@@ -384,10 +388,57 @@ class EquinoxFleet:
             faults=self.fault_counters.snapshot(),
         )
 
+    def serving_router(
+        self,
+        sim,
+        tenants,
+        seed: int = 0,
+        admission=None,
+        max_inflight: int = 2,
+        affinity_size: Optional[int] = None,
+    ) -> FleetRouter:
+        """Build the serving-plane router over this fleet's workers.
+
+        One :class:`repro.serve.router.ChipServer` per worker,
+        calibrated from this fleet's own design point (a probe
+        accelerator supplies batch slots and service time) and wired to
+        the fleet's fault plan and counters — the same worker ids that
+        crash out of training rounds die as serving chips. The router
+        is kept on ``self.router`` so fleet snapshots carry it.
+
+        Args:
+            sim: The :class:`repro.sim.engine.Simulator` to run on.
+            tenants: Per-tenant :class:`repro.core.dispatcher.
+                TenantShare` budgets (see :meth:`repro.serve.classes.
+                ServiceClass.share`).
+            seed: Placement/kill-time seed.
+            admission: Fleet-wide :class:`repro.faults.admission.
+                AdmissionControl` backstop.
+            max_inflight: Batches each chip overlaps in service.
+            affinity_size: Tenant affinity-arc length (default: half
+                the fleet).
+        """
+        probe = EquinoxAccelerator(self.config, self.model)
+        self.router = FleetRouter(
+            sim,
+            tenants,
+            fleet_size=self.size,
+            batch_slots=probe.batch_slots,
+            batch_service_cycles=probe.batch_service_cycles(),
+            seed=seed,
+            admission=admission,
+            fault_plan=self.fault_plan,
+            counters=self.fault_counters,
+            max_inflight=max_inflight,
+            affinity_size=affinity_size,
+        )
+        return self.router
+
     def to_state(self) -> Dict[str, Any]:
         """Snapshot (``repro.state`` contract): the fault tallies, the
-        injector's stream positions and the round checkpoint. The
-        sizing/model/server attributes are constructor config."""
+        injector's stream positions, the round checkpoint, and — when
+        built — the serving router. The sizing/model/server attributes
+        are constructor config."""
         return {
             "fault_counters": self.fault_counters.to_state(),
             "fault_injector": (
@@ -397,6 +448,10 @@ class EquinoxFleet:
             "last_checkpoint": (
                 self.last_checkpoint.to_state()
                 if self.last_checkpoint is not None else None
+            ),
+            "router": (
+                self.router.to_state()
+                if self.router is not None else None
             ),
         }
 
@@ -414,6 +469,16 @@ class EquinoxFleet:
             RoundCheckpoint.from_state(state["last_checkpoint"])
             if state["last_checkpoint"] is not None else None
         )
+        # Older snapshots predate the serving plane; absent = not built.
+        router_state = state.get("router")
+        if router_state is not None:
+            if self.router is None:
+                raise ValueError(
+                    "snapshot carries serving-router state but this "
+                    "fleet has no router; call serving_router() with "
+                    "the original tenants first"
+                )
+            self.router.from_state(router_state)
 
     def run_report(self, fleet_report: FleetReport, name: str) -> RunReport:
         """Package one fleet round as the structured JSON artifact.

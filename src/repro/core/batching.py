@@ -128,18 +128,55 @@ class AdaptiveBatching(BatchingPolicy):
         )
 
 
+class PullBatching(BatchingPolicy):
+    """Never self-issues; batches form only on explicit demand.
+
+    The fleet chip servers (``repro.serve.router``) pull a batch via
+    :meth:`repro.core.dispatcher.RequestDispatcher.form_one` exactly
+    when a service slot frees up. Eager formation would defeat the
+    bounded admission queue: formed batches are no longer "queued
+    requests", so a saturating tenant could convert its whole flash
+    crowd into an unbounded backlog of formed batches. Keeping requests
+    in the formation buffer until the datapath can actually take them
+    preserves both the admission bound and the fair-share pick order.
+
+    Attributes:
+        slots: Batch size.
+    """
+
+    def __init__(self, slots: int):
+        if slots < 1:
+            raise ValueError("batch size must be positive")
+        self.slots = slots
+
+    @property
+    def batch_slots(self) -> int:
+        return self.slots
+
+    def should_issue(self, queued: int, oldest_wait_cycles: float) -> bool:
+        return False
+
+    def deadline_cycles(self, oldest_arrival_cycle: float) -> Optional[float]:
+        return None
+
+    def __repr__(self) -> str:
+        return f"PullBatching(slots={self.slots})"
+
+
 def make_batching(
     kind: str, slots: int, timeout_cycles: float = 0.0
 ) -> BatchingPolicy:
     """Factory used by the accelerator facade.
 
     Args:
-        kind: ``"static"`` or ``"adaptive"``.
+        kind: ``"static"``, ``"adaptive"`` or ``"pull"``.
         slots: Batch size.
-        timeout_cycles: Adaptive formation timeout (ignored for static).
+        timeout_cycles: Adaptive formation timeout (ignored otherwise).
     """
     if kind == "static":
         return StaticBatching(slots)
     if kind == "adaptive":
         return AdaptiveBatching(slots, timeout_cycles)
+    if kind == "pull":
+        return PullBatching(slots)
     raise ValueError(f"unknown batching policy {kind!r}")

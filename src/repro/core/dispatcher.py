@@ -16,8 +16,18 @@ keeps that stream flowing even while an inference batch executes.
 
 from bisect import insort
 from collections import deque
-from dataclasses import asdict
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.analysis.program_verifier import raise_on_errors, verify_program
 from repro.core.batching import BatchingPolicy
@@ -71,6 +81,10 @@ class RequestDispatcher:
         self._buffer: Deque[InferenceRequest] = deque()
         self._deadline_event: Optional[Event] = None
         self._timeout_events: Dict[int, Event] = {}
+        #: Deadline-expired requests waiting out their backoff before
+        #: re-admission. Tracked so ``flush`` can fold them back in and
+        #: ``to_state`` can refuse a snapshot that would drop them.
+        self._retry_events: Dict[int, Tuple[Event, InferenceRequest]] = {}
         self._next_batch_id = 0
         self._next_request_id = 0
         self.batches_formed = 0
@@ -78,12 +92,22 @@ class RequestDispatcher:
         self.requests_submitted = 0
         #: Fires whenever the formation buffer shrinks (spike subsides).
         self.on_queue_decrease: Optional[Callable[[], None]] = None
+        #: Fires whenever a request enters the formation buffer — the
+        #: pull path (``PullBatching``) wakes its chip server here, so
+        #: a retry re-admission on an idle chip is served immediately
+        #: instead of waiting for the next completion to pump.
+        self.on_queue_increase: Optional[Callable[[], None]] = None
 
     @property
     def queue_size(self) -> int:
         """Requests waiting in the formation buffer — the signal the
         instruction controller's spike guard monitors."""
         return len(self._buffer)
+
+    @property
+    def pending_retries(self) -> int:
+        """Deadline-expired requests waiting out their backoff."""
+        return len(self._retry_events)
 
     @property
     def rejected_requests(self) -> int:
@@ -100,74 +124,148 @@ class RequestDispatcher:
         """Deadline-expired requests re-admitted with backoff."""
         return self.counters.request_retries
 
-    def submit(self) -> InferenceRequest:
+    def submit(self, tenant: Optional[str] = None) -> InferenceRequest:
         """A client request arrives now (possibly to be shed)."""
         request = InferenceRequest(
-            request_id=self._next_request_id, arrival_cycle=self.sim.now
+            request_id=self._next_request_id,
+            arrival_cycle=self.sim.now,
+            tenant=tenant,
         )
         self._next_request_id += 1
         self.requests_submitted += 1
         self._admit(request)
         return request
 
-    def _admit(self, request: InferenceRequest) -> None:
+    def inject(self, request: InferenceRequest) -> None:
+        """Admit an externally created request (fleet-router path).
+
+        The caller owns request-id uniqueness across dispatchers — the
+        local id cursor is advanced past the injected id so locally
+        created requests can never collide with it.
+        """
+        self.requests_submitted += 1
+        if self._next_request_id <= request.request_id:
+            self._next_request_id = request.request_id + 1
+        self._admit(request)
+
+    # ------------------------------------------------------------------
+    # Buffer hooks — the single-tenant deque here; FairShareDispatcher
+    # overrides these five to run per-tenant queues under the identical
+    # admission/timeout/formation machinery.
+    # ------------------------------------------------------------------
+
+    def _should_shed(self, request: InferenceRequest) -> bool:
         admission = self.admission
-        if (
+        return (
             admission is not None
             and admission.bounds_queue
-            and len(self._buffer) >= admission.max_queue_requests
-        ):
+            and self.queue_size >= admission.max_queue_requests
+        )
+
+    def _append(self, request: InferenceRequest) -> None:
+        self._buffer.append(request)
+
+    def _discard(self, request: InferenceRequest) -> bool:
+        try:
+            self._buffer.remove(request)
+        except ValueError:
+            return False
+        return True
+
+    def _take(self, slots: int) -> List[InferenceRequest]:
+        taken: List[InferenceRequest] = []
+        while self._buffer and len(taken) < slots:
+            taken.append(self._buffer.popleft())
+        return taken
+
+    def _oldest_arrival(self) -> Optional[float]:
+        if not self._buffer:
+            return None
+        return self._buffer[0].arrival_cycle
+
+    # ------------------------------------------------------------------
+    # Admission / timeout / formation machinery (hook-driven)
+    # ------------------------------------------------------------------
+
+    def _admit(self, request: InferenceRequest) -> None:
+        if self._should_shed(request):
             # Load shedding: better one explicit rejection now than one
             # more request whose latency diverges in an unbounded queue.
             request.rejected = True
             self.counters.rejected_requests += 1
+            self._on_shed(request)
             return
-        self._buffer.append(request)
-        if admission is not None and admission.has_deadline:
+        self._append(request)
+        deadline = self._deadline_for(request)
+        if deadline is not None:
             self._timeout_events[request.request_id] = self.sim.after(
-                admission.deadline_cycles,
-                lambda: self._on_request_timeout(request),
+                deadline, lambda: self._on_request_timeout(request)
             )
         self._evaluate()
+        if self.on_queue_increase is not None:
+            self.on_queue_increase()
+
+    def _deadline_for(self, request: InferenceRequest) -> Optional[float]:
+        """Queue deadline for this request; ``None`` = never times out.
+        FairShareDispatcher overrides with per-tenant deadlines."""
+        admission = self.admission
+        if admission is not None and admission.has_deadline:
+            return admission.deadline_cycles
+        return None
+
+    def _on_shed(self, request: InferenceRequest) -> None:
+        """Hook for per-tenant shed accounting; the base keeps none."""
+
+    def _on_timed_out(self, request: InferenceRequest) -> None:
+        """Hook: ``request`` exhausted its deadline budget."""
 
     def _on_request_timeout(self, request: InferenceRequest) -> None:
         self._timeout_events.pop(request.request_id, None)
         if request.batched_cycle is not None:
             return  # formed into a batch before the deadline fired
-        try:
-            self._buffer.remove(request)
-        except ValueError:
+        if not self._discard(request):
             return
         admission = self.admission
-        if request.retries < admission.max_retries:
+        max_retries = 0 if admission is None else admission.max_retries
+        if request.retries < max_retries:
+            assert admission is not None
             # Re-admit with bounded exponential backoff; the latency
-            # clock keeps running from the original arrival.
+            # clock keeps running from the original arrival. The pending
+            # re-admission is tracked: an untracked event here leaked
+            # the request past flush() and past the snapshot quiescence
+            # check (it sat in the sim heap, invisible to both).
             request.retries += 1
             self.counters.request_retries += 1
-            self.sim.after(
+            event = self.sim.after(
                 admission.retry_delay(request.retries),
-                lambda: self._admit(request),
+                lambda: self._readmit(request),
             )
+            self._retry_events[request.request_id] = (event, request)
         else:
             request.timed_out = True
             self.counters.request_timeouts += 1
+            self._on_timed_out(request)
         self._arm_deadline()
         if self.on_queue_decrease is not None:
             self.on_queue_decrease()
 
+    def _readmit(self, request: InferenceRequest) -> None:
+        self._retry_events.pop(request.request_id, None)
+        self._admit(request)
+
     def _evaluate(self) -> None:
-        while self._buffer:
-            oldest_wait = self.sim.now - self._buffer[0].arrival_cycle
-            if not self.policy.should_issue(len(self._buffer), oldest_wait):
+        while self.queue_size:
+            oldest = self._oldest_arrival()
+            assert oldest is not None
+            oldest_wait = self.sim.now - oldest
+            if not self.policy.should_issue(self.queue_size, oldest_wait):
                 break
             self._form()
         self._arm_deadline()
 
-    def _form(self) -> None:
+    def _form(self) -> Batch:
         slots = self.policy.batch_slots
-        taken: List[InferenceRequest] = []
-        while self._buffer and len(taken) < slots:
-            taken.append(self._buffer.popleft())
+        taken = self._take(slots)
         batch = Batch(
             batch_id=self._next_batch_id,
             requests=taken,
@@ -180,6 +278,7 @@ class RequestDispatcher:
             self.incomplete_batches += 1
         for request in taken:
             request.batched_cycle = self.sim.now
+            self._note_batched(request)
             if self.spans is not None:
                 # Retroactive: the request record already stamped both
                 # endpoints of its formation wait.
@@ -195,14 +294,58 @@ class RequestDispatcher:
         self.on_batch(batch)
         if self.on_queue_decrease is not None:
             self.on_queue_decrease()
+        return batch
+
+    def _note_batched(self, request: InferenceRequest) -> None:
+        """Hook: ``request`` was just formed into a batch."""
+
+    def form_one(self) -> Optional[Batch]:
+        """Form one batch on demand, bypassing the batching policy.
+
+        The pull path (:class:`repro.core.batching.PullBatching`): a
+        chip server calls this exactly when a service slot frees up, so
+        requests stay in the bounded formation buffer — where admission
+        and fair-share still see them — until the datapath can actually
+        take them. Returns the formed batch (also delivered through
+        ``on_batch``), or ``None`` when the buffer is empty.
+        """
+        if not self.queue_size:
+            return None
+        return self._form()
+
+    def drain(self) -> List[InferenceRequest]:
+        """Evacuate every live request without forming batches.
+
+        Chip-failure failover: the router pulls a dead chip's queued
+        requests (including those waiting out a retry backoff) and
+        re-admits them elsewhere. All armed deadline/timeout/retry
+        events are cancelled; tallies are untouched — the requests are
+        still live. Returned in request-id order for determinism.
+        """
+        drained: Dict[int, InferenceRequest] = {}
+        while self.queue_size:
+            for request in self._take(self.queue_size):
+                drained[request.request_id] = request
+        for event, request in self._retry_events.values():
+            event.cancel()
+            drained[request.request_id] = request
+        self._retry_events.clear()
+        for event in self._timeout_events.values():
+            event.cancel()
+        self._timeout_events.clear()
+        if self._deadline_event is not None:
+            self._deadline_event.cancel()
+            self._deadline_event = None
+        return [drained[request_id] for request_id in sorted(drained)]
 
     def _arm_deadline(self) -> None:
         if self._deadline_event is not None:
             self._deadline_event.cancel()
             self._deadline_event = None
-        if not self._buffer:
+        oldest = self._oldest_arrival()
+        if oldest is None:
             return
-        deadline = self.policy.deadline_cycles(self._buffer[0].arrival_cycle)
+        deadline = self.policy.deadline_cycles(oldest)
         if deadline is None:
             return
         self._deadline_event = self.sim.at(
@@ -211,13 +354,25 @@ class RequestDispatcher:
 
     def _on_deadline(self) -> None:
         self._deadline_event = None
-        if self._buffer:
+        if self.queue_size:
             self._form()
         self._arm_deadline()
 
     def flush(self) -> None:
-        """Force out whatever is buffered (end-of-run drain)."""
-        while self._buffer:
+        """Force out whatever is buffered (end-of-run drain).
+
+        Requests waiting out a retry backoff are folded back in first
+        (in request-id order): they are still live, and draining the
+        buffer without them silently lost them — never completed, never
+        counted timed out, breaking the submitted = completed + shed +
+        timed-out accounting identity.
+        """
+        while self._retry_events:
+            request_id = min(self._retry_events)
+            event, request = self._retry_events.pop(request_id)
+            event.cancel()
+            self._admit(request)
+        while self.queue_size:
             self._form()
 
     def metrics(self) -> Dict[str, float]:
@@ -230,6 +385,7 @@ class RequestDispatcher:
             "rejected_requests": float(self.rejected_requests),
             "request_timeouts": float(self.request_timeouts),
             "request_retries": float(self.request_retries),
+            "pending_retries": float(self.pending_retries),
         }
 
     def to_state(self) -> Dict[str, Any]:
@@ -242,10 +398,11 @@ class RequestDispatcher:
         :meth:`flush` (the run boundary), where only the id cursors and
         tallies remain.
         """
-        if self._buffer or self._timeout_events:
+        if self.queue_size or self._timeout_events or self._retry_events:
             raise SnapshotError(
-                f"dispatcher holds {len(self._buffer)} buffered request(s) "
-                f"and {len(self._timeout_events)} armed timeout(s); "
+                f"dispatcher holds {self.queue_size} buffered request(s), "
+                f"{len(self._timeout_events)} armed timeout(s) and "
+                f"{len(self._retry_events)} pending retry(ies); "
                 "snapshot at a run boundary (after flush)"
             )
         return {
@@ -262,6 +419,246 @@ class RequestDispatcher:
         self.batches_formed = int(state["batches_formed"])
         self.incomplete_batches = int(state["incomplete_batches"])
         self.requests_submitted = int(state["requests_submitted"])
+
+
+@dataclass(frozen=True)
+class TenantShare:
+    """One tenant's slice of a fair-share dispatcher.
+
+    Attributes:
+        name: Tenant identity; requests carry it end to end.
+        weight: Fair-share weight — batch slots are granted in
+            proportion to weights when every tenant has backlog
+            (weighted deficit round-robin).
+        max_queue_requests: Per-tenant admission bound; ``None`` falls
+            back to the dispatcher's :class:`AdmissionControl` bound.
+            Each tenant's queue is bounded independently, so one
+            tenant's flash crowd sheds its own arrivals and never
+            consumes another tenant's admission budget.
+        deadline_cycles: Per-tenant queue deadline; ``None`` falls back
+            to the dispatcher's :class:`AdmissionControl` deadline.
+    """
+
+    name: str
+    weight: float = 1.0
+    max_queue_requests: Optional[int] = None
+    deadline_cycles: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        if self.max_queue_requests is not None and self.max_queue_requests < 1:
+            raise ValueError(
+                f"max_queue_requests must be >= 1, got {self.max_queue_requests}"
+            )
+        if self.deadline_cycles is not None and self.deadline_cycles <= 0:
+            raise ValueError(
+                f"deadline_cycles must be positive, got {self.deadline_cycles}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TenantShare":
+        return cls(**dict(data))
+
+
+class FairShareDispatcher(RequestDispatcher):
+    """Multi-tenant request dispatcher: one bounded queue per tenant,
+    weighted deficit round-robin (WDRR) batch formation.
+
+    Each batch's slots are filled by cycling tenants in registration
+    order; a tenant with backlog earns ``weight`` deficit credit per
+    round and spends one credit per slot, so over any backlogged
+    interval tenant *i* receives ``w_i / Σw`` of the slots regardless
+    of how aggressively other tenants submit. A tenant whose queue
+    drains forfeits its credit (standard DRR reset) — weights bound
+    *shares under contention*, not reservations of idle capacity.
+
+    Admission (shed/deadline/retry) and batching policy are inherited
+    unchanged from :class:`RequestDispatcher`; only the buffer hooks
+    differ.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        policy: BatchingPolicy,
+        on_batch: Callable[[Batch], None],
+        tenants: Sequence[TenantShare],
+        admission: Optional[AdmissionControl] = None,
+        counters: Optional[FaultCounters] = None,
+        spans: Optional[SpanTracer] = None,
+    ):
+        super().__init__(
+            sim, policy, on_batch,
+            admission=admission, counters=counters, spans=spans,
+        )
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        names = [share.name for share in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names}")
+        #: Registration order is the WDRR scan order — part of the
+        #: determinism contract, so it is fixed at construction.
+        self._shares: Dict[str, TenantShare] = {
+            share.name: share for share in tenants
+        }
+        self._queues: Dict[str, Deque[InferenceRequest]] = {
+            share.name: deque() for share in tenants
+        }
+        self._deficits: Dict[str, float] = {share.name: 0.0 for share in tenants}
+        self.submitted_by_tenant: Dict[str, int] = dict.fromkeys(names, 0)
+        self.shed_by_tenant: Dict[str, int] = dict.fromkeys(names, 0)
+        self.batched_by_tenant: Dict[str, int] = dict.fromkeys(names, 0)
+        self.timed_out_by_tenant: Dict[str, int] = dict.fromkeys(names, 0)
+
+    @property
+    def tenant_names(self) -> List[str]:
+        return list(self._shares)
+
+    @property
+    def queue_size(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def queue_size_for(self, tenant: str) -> int:
+        return len(self._queues[tenant])
+
+    def submit(self, tenant: Optional[str] = None) -> InferenceRequest:
+        if tenant not in self._shares:
+            raise ValueError(
+                f"unknown tenant {tenant!r}; registered: {list(self._shares)}"
+            )
+        self.submitted_by_tenant[tenant] += 1
+        return super().submit(tenant=tenant)
+
+    def inject(self, request: InferenceRequest) -> None:
+        if request.tenant not in self._shares:
+            raise ValueError(
+                f"unknown tenant {request.tenant!r}; "
+                f"registered: {list(self._shares)}"
+            )
+        self.submitted_by_tenant[request.tenant] += 1
+        super().inject(request)
+
+    # ------------------------------------------------------------------
+    # Buffer hooks
+    # ------------------------------------------------------------------
+
+    def _deadline_for(self, request: InferenceRequest) -> Optional[float]:
+        assert request.tenant is not None
+        share = self._shares[request.tenant]
+        if share.deadline_cycles is not None:
+            return share.deadline_cycles
+        return super()._deadline_for(request)
+
+    def _should_shed(self, request: InferenceRequest) -> bool:
+        assert request.tenant is not None
+        share = self._shares[request.tenant]
+        cap = share.max_queue_requests
+        if cap is None:
+            admission = self.admission
+            if admission is None or not admission.bounds_queue:
+                return False
+            cap = admission.max_queue_requests
+        return len(self._queues[request.tenant]) >= cap
+
+    def _on_shed(self, request: InferenceRequest) -> None:
+        assert request.tenant is not None
+        self.shed_by_tenant[request.tenant] += 1
+
+    def _append(self, request: InferenceRequest) -> None:
+        assert request.tenant is not None
+        self._queues[request.tenant].append(request)
+
+    def _discard(self, request: InferenceRequest) -> bool:
+        assert request.tenant is not None
+        try:
+            self._queues[request.tenant].remove(request)
+        except ValueError:
+            return False
+        return True
+
+    def _take(self, slots: int) -> List[InferenceRequest]:
+        taken: List[InferenceRequest] = []
+        while len(taken) < slots and any(self._queues.values()):
+            for name, queue in self._queues.items():
+                if not queue:
+                    self._deficits[name] = 0.0
+                    continue
+                self._deficits[name] += self._shares[name].weight
+                while queue and self._deficits[name] >= 1.0 and len(taken) < slots:
+                    taken.append(queue.popleft())
+                    self._deficits[name] -= 1.0
+                if not queue:
+                    self._deficits[name] = 0.0
+                if len(taken) >= slots:
+                    break
+        return taken
+
+    def _note_batched(self, request: InferenceRequest) -> None:
+        assert request.tenant is not None
+        self.batched_by_tenant[request.tenant] += 1
+
+    def _on_timed_out(self, request: InferenceRequest) -> None:
+        assert request.tenant is not None
+        self.timed_out_by_tenant[request.tenant] += 1
+
+    def _oldest_arrival(self) -> Optional[float]:
+        heads = [queue[0].arrival_cycle for queue in self._queues.values() if queue]
+        if not heads:
+            return None
+        return min(heads)
+
+    # ------------------------------------------------------------------
+    # Metrics & snapshot
+    # ------------------------------------------------------------------
+
+    def tenant_metrics(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant counters (stable tenant order)."""
+        return {
+            name: {
+                "queue_size": float(len(self._queues[name])),
+                "submitted": float(self.submitted_by_tenant[name]),
+                "shed": float(self.shed_by_tenant[name]),
+                "batched": float(self.batched_by_tenant[name]),
+                "timed_out": float(self.timed_out_by_tenant[name]),
+                "deficit": self._deficits[name],
+            }
+            for name in self._shares
+        }
+
+    def to_state(self) -> Dict[str, Any]:
+        state = super().to_state()
+        state["tenants"] = {
+            name: {
+                "deficit": self._deficits[name],
+                "submitted": self.submitted_by_tenant[name],
+                "shed": self.shed_by_tenant[name],
+                "batched": self.batched_by_tenant[name],
+                "timed_out": self.timed_out_by_tenant[name],
+            }
+            for name in self._shares
+        }
+        return state
+
+    def from_state(self, state: Dict[str, Any]) -> None:
+        super().from_state(state)
+        tenants = state["tenants"]
+        if set(tenants) != set(self._shares):
+            raise ValueError(
+                f"snapshot tenants {sorted(tenants)} do not match "
+                f"registered tenants {sorted(self._shares)}"
+            )
+        for name, entry in tenants.items():
+            self._deficits[name] = float(entry["deficit"])
+            self.submitted_by_tenant[name] = int(entry["submitted"])
+            self.shed_by_tenant[name] = int(entry["shed"])
+            self.batched_by_tenant[name] = int(entry["batched"])
+            self.timed_out_by_tenant[name] = int(entry["timed_out"])
 
 
 class InferenceEngine:

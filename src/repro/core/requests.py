@@ -26,6 +26,9 @@ class InferenceRequest:
     timed_out: bool = False
     #: Set when the admission queue shed this request on arrival.
     rejected: bool = False
+    #: Owning tenant for multi-tenant dispatch (``repro.serve``);
+    #: ``None`` on the single-tenant path.
+    tenant: Optional[str] = None
 
     @property
     def latency_cycles(self) -> float:

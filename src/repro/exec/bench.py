@@ -73,6 +73,78 @@ def _kernel_load_point() -> float:
     return float(report.requests_completed)
 
 
+#: Pinned ``serve.route`` shape: fleet/tenant mix, request count and
+#: chip-relative service time are frozen so two BENCH files time the
+#: same placement + fair-share + failover traffic.
+_SERVE_FLEET = 8
+_SERVE_SLOTS = 8
+_SERVE_SERVICE_CYCLES = 1000.0
+_SERVE_REQUESTS = 4000
+
+
+def _kernel_serve_route() -> float:
+    """Fleet-router hot path: p2c placement, WDRR batch formation and
+    one mid-run chip-kill failover over a 3-tenant SLO mix."""
+    from repro.faults.plan import FaultPlan, WorkerFaultSpec
+    from repro.serve.classes import TenantSpec
+    from repro.serve.router import FleetRouter
+    from repro.sim.engine import Simulator
+    from repro.workload.loadgen import MixedArrivals, PoissonArrivals
+
+    tenants = [
+        TenantSpec("interactive", "latency-critical", 0.25),
+        TenantSpec("bulk", "best-effort", 1.0),
+        TenantSpec("trainer", "batch-training", 0.35),
+    ]
+    shares = [
+        spec.slo.share(spec.name, _SERVE_SLOTS, _SERVE_SERVICE_CYCLES)
+        for spec in tenants
+    ]
+    sim = Simulator()
+    router = FleetRouter(
+        sim,
+        shares,
+        fleet_size=_SERVE_FLEET,
+        batch_slots=_SERVE_SLOTS,
+        batch_service_cycles=_SERVE_SERVICE_CYCLES,
+        seed=7,
+        fault_plan=FaultPlan(seed=7, workers=WorkerFaultSpec(crashed=(1,))),
+    )
+    capacity = _SERVE_SLOTS / _SERVE_SERVICE_CYCLES
+    rates = [
+        spec.load_fraction * capacity * _SERVE_FLEET for spec in tenants
+    ]
+    mixed = MixedArrivals(
+        [PoissonArrivals(rate, seed=[7, index]) for index, rate in enumerate(rates)]
+    )
+    remaining = _SERVE_REQUESTS
+
+    def _schedule() -> None:
+        gap, source = mixed.next_tagged()
+
+        def _fire(source: int = source) -> None:
+            nonlocal remaining
+            router.submit(tenants[source].name)
+            remaining -= 1
+            if remaining:
+                _schedule()
+
+        sim.after(gap, _fire)
+
+    _schedule()
+    router.schedule_kills(_SERVE_REQUESTS / sum(rates))
+    sim.run()
+    for _ in range(8):
+        if not router.outstanding_requests:
+            break
+        router.flush()
+        sim.run()
+    return float(
+        sum(router.completed_by_tenant.values())
+        + router.failover_redispatched
+    )
+
+
 def _kernel_chaos_scenario() -> float:
     """One fault-injected accelerator run (HBM ECC retries)."""
     from repro.core.equinox import EquinoxAccelerator
@@ -367,6 +439,11 @@ def pinned_kernels() -> Dict[str, Tuple[str, Callable[[], float]]]:
         ),
         "chaos.scenario": (
             "fault-injected run, HBM ECC 5% err", _kernel_chaos_scenario,
+        ),
+        "serve.route": (
+            f"fleet router, {_SERVE_FLEET} chips x {_SERVE_REQUESTS} "
+            "reqs, 3-tenant mix + chip kill",
+            _kernel_serve_route,
         ),
         "arith.gemm": (
             "hbfp8 GEMM 192x192", _kernel_gemm,

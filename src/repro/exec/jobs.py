@@ -34,6 +34,7 @@ _REGISTRY: Dict[str, str] = {
     "dse.points": "repro.exec.tasks:dse_points",
     "eval.load_point": "repro.exec.tasks:eval_load_point",
     "chaos.scenario": "repro.exec.tasks:chaos_scenario",
+    "serve.fleet_scenario": "repro.exec.tasks:serve_fleet_scenario",
     "exec.probe": "repro.exec.tasks:exec_probe",
 }
 

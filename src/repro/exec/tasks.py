@@ -20,7 +20,13 @@ from typing import Any, Dict, List
 
 from repro.analysis.annotations import audited
 
-__all__ = ["chaos_scenario", "dse_points", "eval_load_point", "exec_probe"]
+__all__ = [
+    "chaos_scenario",
+    "dse_points",
+    "eval_load_point",
+    "exec_probe",
+    "serve_fleet_scenario",
+]
 
 
 def dse_points(config: Dict[str, Any], seed: int) -> List[Dict[str, Any]]:
@@ -81,6 +87,14 @@ def chaos_scenario(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
     from repro.faults import chaos
 
     return chaos.run_scenario(config, seed)
+
+
+def serve_fleet_scenario(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One fleet-size serving scenario (run twice: determinism
+    self-check) — a curve point of ``repro.serve/fleet-report/v1``."""
+    from repro.serve import scenarios
+
+    return scenarios.run_scenario(config, seed)
 
 
 @audited(

@@ -57,6 +57,9 @@ CHECKPOINT_ROOTS: Dict[str, str] = {
     "arrivals.uniform": "repro.workload.loadgen:UniformArrivals",
     "arrivals.faulty": "repro.workload.loadgen:FaultyArrivals",
     "arrivals.trace": "repro.workload.loadgen:TraceArrivals",
+    "arrivals.mixed": "repro.workload.loadgen:MixedArrivals",
+    "batching.pull": "repro.core.batching:PullBatching",
+    "serve.router": "repro.serve.router:FleetRouter",
 }
 
 

@@ -12,7 +12,8 @@ the queue late). Both are sampled from a seeded fault-plan substream,
 so a lossy trace replays identically.
 """
 
-from typing import Any, Dict, List, Optional, Sequence
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -50,11 +51,13 @@ class PoissonArrivals(ArrivalProcess):
 
     Attributes:
         rate_per_cycle: Mean arrivals per cycle (λ).
-        seed: RNG seed; two generators with equal seeds produce equal
+        seed: RNG seed — an int, or a sequence of ints for a keyed
+            substream (``[seed, crc32(label), index]``, the
+            ``repro.faults`` discipline); equal seeds produce equal
             traces, keeping experiments reproducible.
     """
 
-    def __init__(self, rate_per_cycle: float, seed: int = 0):
+    def __init__(self, rate_per_cycle: float, seed: Union[int, Sequence[int]] = 0):
         if rate_per_cycle <= 0:
             raise ValueError("arrival rate must be positive")
         self.rate_per_cycle = rate_per_cycle
@@ -153,6 +156,98 @@ class FaultyArrivals(ArrivalProcess):
     def from_state(self, state: Dict[str, Any]) -> None:
         self.base.from_state(state["base"])
         restore_rng(self._rng, state["rng"])
+
+
+class MixedArrivals(ArrivalProcess):
+    """Deterministic merge of K independent arrival streams.
+
+    Each component stream (one per tenant in ``repro.serve``) keeps its
+    own clock; the compositor emits the globally next arrival and tags
+    it with its source stream index. Component gaps are drawn in blocks
+    through :meth:`ArrivalProcess.next_gaps`, so a fault-free
+    :class:`PoissonArrivals` component refills with one vectorized draw
+    while a :class:`FaultyArrivals` component keeps its data-dependent
+    scalar loop — the stream-equality contract makes both identical to
+    scalar draws.
+
+    Ties between streams break on the lower stream index, so the merge
+    order is a pure function of the component seeds.
+
+    Attributes:
+        streams: The component processes, in tenant registration order.
+        last_source: Index of the stream that produced the most recent
+            :meth:`next_gap` arrival (``None`` before the first draw).
+    """
+
+    def __init__(self, streams: Sequence[ArrivalProcess], block: int = 64):
+        if not streams:
+            raise ValueError("need at least one component stream")
+        if block < 1:
+            raise ValueError(f"refill block must be >= 1, got {block}")
+        self.streams = list(streams)
+        self._block = block
+        #: Per-stream buffered *absolute* arrival times, ascending.
+        self._pending: List[Deque[float]] = [deque() for _ in self.streams]
+        #: Per-stream clock: absolute time of the last buffered arrival.
+        self._clocks: List[float] = [0.0 for _ in self.streams]
+        #: Merged-stream clock: absolute time of the last emitted arrival.
+        self._now = 0.0
+        self.last_source: Optional[int] = None
+
+    def _refill(self, index: int) -> None:
+        clock = self._clocks[index]
+        pending = self._pending[index]
+        for gap in self.streams[index].next_gaps(self._block):
+            clock += gap
+            pending.append(clock)
+        self._clocks[index] = clock
+
+    def next_tagged(self) -> Tuple[float, int]:
+        """The next merged gap plus its source stream index."""
+        for index, pending in enumerate(self._pending):
+            if not pending:
+                self._refill(index)
+        winner = min(
+            range(len(self.streams)), key=lambda i: (self._pending[i][0], i)
+        )
+        arrival = self._pending[winner].popleft()
+        gap = arrival - self._now
+        self._now = arrival
+        self.last_source = winner
+        return gap, winner
+
+    def next_gap(self) -> float:
+        gap, _ = self.next_tagged()
+        return gap
+
+    def to_state(self) -> Dict[str, Any]:
+        """Snapshot (``repro.state`` contract): component states plus
+        the buffered arrivals and all clocks — a restored compositor
+        continues the merged stream bit-exactly, including arrivals
+        that were drawn into a block buffer but not yet emitted."""
+        return {
+            "streams": [stream.to_state() for stream in self.streams],
+            "pending": [list(pending) for pending in self._pending],
+            "clocks": list(self._clocks),
+            "now": self._now,
+            "last_source": self.last_source,
+        }
+
+    def from_state(self, state: Dict[str, Any]) -> None:
+        if len(state["streams"]) != len(self.streams):
+            raise ValueError(
+                f"snapshot has {len(state['streams'])} component stream(s), "
+                f"compositor has {len(self.streams)}"
+            )
+        for stream, entry in zip(self.streams, state["streams"]):
+            stream.from_state(entry)
+        self._pending = [
+            deque(float(t) for t in pending) for pending in state["pending"]
+        ]
+        self._clocks = [float(clock) for clock in state["clocks"]]
+        self._now = float(state["now"])
+        source = state["last_source"]
+        self.last_source = None if source is None else int(source)
 
 
 class TraceArrivals(ArrivalProcess):

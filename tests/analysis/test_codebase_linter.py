@@ -289,6 +289,57 @@ class TestDirectHeapq:
         assert "EQX309" not in _ids(lint_source(source, path=CORE_PATH))
 
 
+class TestUnkeyedServeRng:
+    """EQX310: ambient random sources are banned inside repro.serve —
+    the fleet matrix promises byte-identical reports for any --jobs
+    value, so every draw must come from a seeded, keyed substream."""
+
+    SERVE_PATH = "src/repro/serve/router.py"
+
+    def test_import_and_use_of_random_flagged(self):
+        source = "import random\n\nx = random.random()\n"
+        diags = lint_source(source, path=self.SERVE_PATH)
+        assert _ids(diags) == ["EQX310", "EQX310"]
+        assert [d.location.line for d in diags] == [1, 3]
+
+    def test_from_random_import_flagged(self):
+        source = "from random import choice\n\nx = choice([1, 2])\n"
+        assert "EQX310" in _ids(lint_source(source, path=self.SERVE_PATH))
+
+    def test_ambient_numpy_random_attr_flagged_once(self):
+        source = "import numpy as np\n\nnp.random.shuffle([1, 2])\n"
+        diags = lint_source(source, path=self.SERVE_PATH)
+        # One report per attribute chain, not one per sub-attribute.
+        assert _ids(diags) == ["EQX310"]
+
+    def test_numpy_random_submodule_import_flagged(self):
+        source = "from numpy import random\n\nrandom.shuffle([1])\n"
+        assert "EQX310" in _ids(lint_source(source, path=self.SERVE_PATH))
+
+    def test_unseeded_default_rng_flagged(self):
+        source = "import numpy as np\n\nrng = np.random.default_rng()\n"
+        assert _ids(lint_source(source, path=self.SERVE_PATH)) == ["EQX310"]
+
+    def test_seeded_default_rng_is_the_sanctioned_path(self):
+        source = (
+            "import zlib\n\n"
+            "import numpy as np\n\n"
+            'rng = np.random.default_rng([7, zlib.crc32(b"x")])\n'
+        )
+        assert lint_source(source, path=self.SERVE_PATH) == []
+
+    def test_rule_is_inert_outside_serve(self):
+        source = "import random\n\nx = random.random()\n"
+        assert "EQX310" not in _ids(lint_source(source, path=EVAL_PATH))
+
+    def test_suppression(self):
+        source = (
+            "import random  # eqx: ignore[EQX310]\n\n"
+            "x = random.random()  # eqx: ignore[EQX310]\n"
+        )
+        assert lint_source(source, path=self.SERVE_PATH) == []
+
+
 class TestOrdering:
     def test_diagnostics_sorted_by_line(self):
         source = (

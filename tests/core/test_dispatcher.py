@@ -2,9 +2,17 @@
 
 import pytest
 
-from repro.core.batching import AdaptiveBatching, StaticBatching
-from repro.core.dispatcher import InferenceEngine, RequestDispatcher, TrainingEngine
+from repro.core.batching import AdaptiveBatching, PullBatching, StaticBatching
+from repro.core.dispatcher import (
+    FairShareDispatcher,
+    InferenceEngine,
+    RequestDispatcher,
+    TenantShare,
+    TrainingEngine,
+)
 from repro.core.scheduler import InferenceOnlyScheduler, PriorityScheduler
+from repro.faults.admission import AdmissionControl
+from repro.sim.engine import SnapshotError
 from repro.hw.dram import HBMInterface
 from repro.hw.mmu import MatrixMultiplyUnit
 from repro.hw.simd import SIMDUnit
@@ -85,6 +93,192 @@ class TestRequestDispatcher:
         dispatcher.flush()
         assert len(formed) == 1
         assert formed[0].real_count == 1
+
+
+class TestRetryAccounting:
+    """The shed+retry interleaving regression: a request waiting out a
+    retry backoff is live — flush must fold it back in, snapshots must
+    refuse while it is pending, and the submitted = batched + shed +
+    timed-out identity must survive every path."""
+
+    ADMISSION = AdmissionControl(
+        deadline_cycles=100.0, max_retries=1, backoff_cycles=50.0
+    )
+
+    def _dispatcher(self, sim, formed):
+        # PullBatching never self-issues, so requests sit in the buffer
+        # until their deadline fires — the retry path on demand.
+        return RequestDispatcher(
+            sim, PullBatching(4), formed.append, admission=self.ADMISSION
+        )
+
+    def test_retry_then_timeout_keeps_identity(self, sim):
+        formed = []
+        dispatcher = self._dispatcher(sim, formed)
+        request = dispatcher.submit()
+        sim.run()
+        # Deadline at 100, one re-admission at 150, final deadline 250.
+        assert dispatcher.request_retries == 1
+        assert dispatcher.request_timeouts == 1
+        assert request.timed_out
+        assert dispatcher.queue_size == 0
+        assert dispatcher.pending_retries == 0
+        assert dispatcher.requests_submitted == dispatcher.request_timeouts
+
+    def test_flush_folds_pending_retry_back_in(self, sim):
+        formed = []
+        dispatcher = self._dispatcher(sim, formed)
+        request = dispatcher.submit()
+        sim.run(until=120.0)
+        # Deadline fired at 100; the request now waits out its backoff.
+        assert dispatcher.pending_retries == 1
+        assert dispatcher.queue_size == 0
+        dispatcher.flush()
+        # The retry was folded back and formed — not silently dropped.
+        assert dispatcher.pending_retries == 0
+        assert len(formed) == 1
+        assert formed[0].requests == [request]
+        assert not request.timed_out
+
+    def test_snapshot_refused_while_retry_pending(self, sim):
+        dispatcher = self._dispatcher(sim, [])
+        dispatcher.submit()
+        sim.run(until=120.0)
+        assert dispatcher.pending_retries == 1
+        with pytest.raises(SnapshotError, match="retry"):
+            dispatcher.to_state()
+        dispatcher.flush()
+        state = dispatcher.to_state()
+        assert state["requests_submitted"] == 1
+
+    def test_queue_increase_hook_fires_on_readmission(self, sim):
+        dispatcher = self._dispatcher(sim, [])
+        pokes = []
+        dispatcher.on_queue_increase = lambda: pokes.append(sim.now)
+        dispatcher.submit()
+        sim.run(until=160.0)
+        # Once at arrival, once when the backoff re-admitted it — the
+        # wake-up a pull-batching chip server needs to resume service.
+        assert pokes == [0.0, 150.0]
+
+    def test_pending_retries_metric_exported(self, sim):
+        dispatcher = self._dispatcher(sim, [])
+        dispatcher.submit()
+        sim.run(until=120.0)
+        assert dispatcher.metrics()["pending_retries"] == 1.0
+
+
+def _fair(sim, formed, tenants, admission=None):
+    return FairShareDispatcher(
+        sim, PullBatching(4), formed.append, tenants, admission=admission
+    )
+
+
+class TestFairShareDispatcher:
+    def test_wdrr_shares_follow_weights(self, sim):
+        """With every tenant backlogged, a weight-3 tenant takes 3 of
+        every 4 slots regardless of how much the other submits."""
+        formed = []
+        dispatcher = _fair(
+            sim, formed,
+            [TenantShare("a", weight=3.0), TenantShare("b", weight=1.0)],
+        )
+        for _ in range(40):
+            dispatcher.submit("b")  # the aggressor submits first
+        for _ in range(30):
+            dispatcher.submit("a")
+        for _ in range(10):
+            assert dispatcher.form_one() is not None
+        assert dispatcher.batched_by_tenant == {"a": 30, "b": 10}
+        for batch in formed:
+            tenants = [request.tenant for request in batch.requests]
+            assert tenants.count("a") == 3
+            assert tenants.count("b") == 1
+
+    def test_idle_tenant_forfeits_credit(self, sim):
+        """Weights bound shares under contention, not reservations: a
+        lone backlogged tenant gets every slot."""
+        formed = []
+        dispatcher = _fair(
+            sim, formed,
+            [TenantShare("a", weight=8.0), TenantShare("b", weight=1.0)],
+        )
+        for _ in range(8):
+            dispatcher.submit("b")
+        dispatcher.form_one()
+        dispatcher.form_one()
+        assert dispatcher.batched_by_tenant == {"a": 0, "b": 8}
+
+    def test_per_tenant_admission_bound_isolates_shedding(self, sim):
+        dispatcher = _fair(
+            sim, [],
+            [
+                TenantShare("a", max_queue_requests=2),
+                TenantShare("b", max_queue_requests=2),
+            ],
+        )
+        for _ in range(5):
+            dispatcher.submit("a")
+        # Tenant a's flash crowd sheds its own overflow only.
+        assert dispatcher.shed_by_tenant == {"a": 3, "b": 0}
+        assert dispatcher.queue_size_for("a") == 2
+        dispatcher.submit("b")
+        assert dispatcher.shed_by_tenant["b"] == 0
+
+    def test_per_tenant_deadline_times_out(self, sim):
+        dispatcher = _fair(
+            sim, [],
+            [
+                TenantShare("a", deadline_cycles=100.0),
+                TenantShare("b"),  # no deadline: waits forever
+            ],
+        )
+        dispatcher.submit("a")
+        dispatcher.submit("b")
+        sim.run()
+        assert dispatcher.timed_out_by_tenant == {"a": 1, "b": 0}
+        assert dispatcher.queue_size_for("b") == 1
+
+    def test_unknown_tenant_rejected(self, sim):
+        dispatcher = _fair(sim, [], [TenantShare("a")])
+        with pytest.raises(ValueError, match="unknown tenant"):
+            dispatcher.submit("ghost")
+
+    def test_rejects_bad_tenant_sets(self, sim):
+        with pytest.raises(ValueError, match="at least one"):
+            _fair(sim, [], [])
+        with pytest.raises(ValueError, match="duplicate"):
+            _fair(sim, [], [TenantShare("a"), TenantShare("a")])
+
+    def test_tenant_share_validation(self):
+        with pytest.raises(ValueError):
+            TenantShare("")
+        with pytest.raises(ValueError):
+            TenantShare("a", weight=0.0)
+        with pytest.raises(ValueError):
+            TenantShare("a", max_queue_requests=0)
+        with pytest.raises(ValueError):
+            TenantShare("a", deadline_cycles=-1.0)
+
+    def test_snapshot_round_trip(self, sim):
+        tenants = [TenantShare("a", weight=2.0), TenantShare("b")]
+        dispatcher = _fair(sim, [], tenants)
+        for _ in range(6):
+            dispatcher.submit("a")
+        dispatcher.submit("b")
+        dispatcher.flush()
+        state = dispatcher.to_state()
+        restored = _fair(sim, [], tenants)
+        restored.from_state(state)
+        assert restored.to_state() == state
+        assert restored.submitted_by_tenant == {"a": 6, "b": 1}
+
+    def test_snapshot_rejects_tenant_mismatch(self, sim):
+        dispatcher = _fair(sim, [], [TenantShare("a")])
+        state = dispatcher.to_state()
+        other = _fair(sim, [], [TenantShare("z")])
+        with pytest.raises(ValueError, match="tenants"):
+            other.from_state(state)
 
 
 class _Bench:

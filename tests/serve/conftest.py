@@ -1,0 +1,20 @@
+"""Shared serving fixtures: one small calibrated matrix run."""
+
+import pytest
+
+from repro.serve import scenarios
+
+#: Small but real: fleet 2 gets a chip-kill plan (KILL_STRIDE hits
+#: chip 1), every class completes requests, and the run stays fast.
+SMALL_SIZES = (1, 2)
+SMALL_REQUESTS = 40
+SMALL_SEED = 3
+
+
+@pytest.fixture(scope="session")
+def small_report():
+    return scenarios.run(
+        fleet_sizes=SMALL_SIZES,
+        requests_per_chip=SMALL_REQUESTS,
+        seed=SMALL_SEED,
+    )

@@ -5,6 +5,7 @@ import pytest
 
 from repro.workload.loadgen import (
     FaultyArrivals,
+    MixedArrivals,
     PoissonArrivals,
     TraceArrivals,
     UniformArrivals,
@@ -116,6 +117,95 @@ class TestUniform:
     def test_rejects_bad_gap(self):
         with pytest.raises(ValueError):
             UniformArrivals(0.0)
+
+
+class TestMixedArrivals:
+    @staticmethod
+    def _absolute(stream, count):
+        clock, times = 0.0, []
+        for _ in range(count):
+            clock += stream.next_gap()
+            times.append(clock)
+        return times
+
+    def test_merge_is_the_sorted_union(self):
+        """The compositor emits exactly the union of its component
+        streams' arrival times, in order — each component consumes its
+        RNG exactly as it would alone."""
+        mixed = MixedArrivals([
+            PoissonArrivals(0.02, seed=[9, 0]),
+            PoissonArrivals(0.05, seed=[9, 1]),
+        ])
+        expected = sorted(
+            self._absolute(PoissonArrivals(0.02, seed=[9, 0]), 120)
+            + self._absolute(PoissonArrivals(0.05, seed=[9, 1]), 120)
+        )[:80]
+        assert self._absolute(mixed, 80) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_tags_and_ties_are_deterministic(self):
+        """Uniform 30/50-cycle streams collide at 150; the tie breaks
+        to the lower stream index."""
+        mixed = MixedArrivals([UniformArrivals(30.0), UniformArrivals(50.0)])
+        drawn = [mixed.next_tagged() for _ in range(8)]
+        assert drawn == [
+            (30.0, 0), (20.0, 1), (10.0, 0), (30.0, 0),
+            (10.0, 1), (20.0, 0), (30.0, 0), (0.0, 1),
+        ]
+        assert mixed.last_source == 1
+
+    def test_identical_seeds_merge_identically(self):
+        def build():
+            return MixedArrivals([
+                PoissonArrivals(0.02, seed=[4, 0]),
+                PoissonArrivals(0.03, seed=[4, 1]),
+            ])
+
+        a, b = build(), build()
+        assert [a.next_tagged() for _ in range(60)] == [
+            b.next_tagged() for _ in range(60)
+        ]
+
+    def test_snapshot_round_trip_mid_stream(self):
+        def build():
+            return MixedArrivals(
+                [
+                    PoissonArrivals(0.02, seed=[6, 0]),
+                    PoissonArrivals(0.05, seed=[6, 1]),
+                ],
+                block=8,
+            )
+
+        original = build()
+        for _ in range(10):
+            original.next_tagged()
+        restored = build()
+        restored.from_state(original.to_state())
+        assert restored.last_source == original.last_source
+        # Continues bit-exactly, including block-buffered arrivals that
+        # were drawn but not yet emitted.
+        assert [original.next_tagged() for _ in range(30)] == [
+            restored.next_tagged() for _ in range(30)
+        ]
+
+    def test_snapshot_rejects_stream_count_mismatch(self):
+        one = MixedArrivals([UniformArrivals(10.0)])
+        two = MixedArrivals([UniformArrivals(10.0), UniformArrivals(20.0)])
+        with pytest.raises(ValueError, match="component stream"):
+            one.from_state(two.to_state())
+
+    def test_next_gap_tracks_last_source(self):
+        mixed = MixedArrivals([UniformArrivals(30.0), UniformArrivals(50.0)])
+        assert mixed.last_source is None
+        assert mixed.next_gap() == 30.0
+        assert mixed.last_source == 0
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            MixedArrivals([])
+        with pytest.raises(ValueError):
+            MixedArrivals([UniformArrivals(10.0)], block=0)
 
 
 class TestTrace:
