@@ -10,11 +10,15 @@ Equinox_min stays under ~20 % of the maximum throughout.
 """
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.dse.table1 import equinox_configuration
 from repro.eval.report import render_series
-from repro.eval.runner import build_accelerator, simulate_load_point
+from repro.eval.runner import (
+    build_accelerator,
+    contribute_capture_state,
+    simulate_load_point,
+)
 from repro.models.lstm import deepbench_lstm
 from repro.models.training import build_training_plan
 
@@ -39,11 +43,37 @@ def run(
     classes: Sequence[str] = DEFAULT_CLASSES,
     batches: int = 12,
     seed: int = 0,
+    executor: Optional[Any] = None,
+    shards: int = 1,
 ) -> Fig9Result:
+    """With an ``executor`` each (class, load) point fans out as an
+    ``eval.load_point`` job with ``training`` set; with ``shards > 1``
+    every point runs as a W=``shards`` snapshot-sharded simulation
+    (:mod:`repro.exec.shard`) — these are the heaviest single
+    simulations in the repo, so they are where window-parallel replay
+    pays off most."""
     dedicated = build_training_plan(
         deepbench_lstm(), equinox_configuration("none")
     ).dedicated_throughput_top_s()
-    curves: Dict[str, List[float]] = {}
+    if shards > 1:
+        from repro.exec.shard import run_load_point_sharded
+
+        curves = {
+            latency_class: [
+                run_load_point_sharded(
+                    latency_class, "hbfp8", load, batches, shards,
+                    seed=seed, executor=executor, training=True,
+                )["training_top_s"]
+                for load in loads
+            ]
+            for latency_class in classes
+        }
+        return Fig9Result(
+            loads=list(loads), curves=curves, dedicated_top_s=dedicated
+        )
+    if executor is not None:
+        return _run_jobs(loads, classes, batches, seed, executor, dedicated)
+    curves = {}
     for latency_class in classes:
         series = []
         for load in loads:
@@ -52,6 +82,43 @@ def run(
             )
             report = simulate_load_point(acc, load, batches=batches, seed=seed)
             series.append(report.training_top_s)
+        curves[latency_class] = series
+    return Fig9Result(loads=list(loads), curves=curves, dedicated_top_s=dedicated)
+
+
+def _run_jobs(
+    loads: Sequence[float],
+    classes: Sequence[str],
+    batches: int,
+    seed: int,
+    executor: Any,
+    dedicated: float,
+) -> Fig9Result:
+    from repro.exec.jobs import Job
+
+    jobs = [
+        Job(
+            "eval.load_point",
+            {
+                "latency_class": latency_class,
+                "encoding": "hbfp8",
+                "load": load,
+                "batches": batches,
+                "training": True,
+            },
+            seed=seed,
+        )
+        for latency_class in classes
+        for load in loads
+    ]
+    results = iter(executor.map(jobs))
+    curves: Dict[str, List[float]] = {}
+    for latency_class in classes:
+        series = []
+        for _ in loads:
+            result = next(results)
+            contribute_capture_state(result["capture"])
+            series.append(result["training_top_s"])
         curves[latency_class] = series
     return Fig9Result(loads=list(loads), curves=curves, dedicated_top_s=dedicated)
 

@@ -1,0 +1,612 @@
+"""Snapshot-sharded execution: one huge simulation, many workers,
+byte-identical artifacts.
+
+The three-phase protocol
+------------------------
+
+1. **Forward pass** (``shard.*_forward`` jobs): run the experiment's
+   own window function sequentially, snapshotting a ``repro.state``
+   boundary payload at each of W window boundaries. Boundaries snap to
+   quiesce points, so every payload is a complete, JSON-able state.
+   The forward pass emits the W-1 interior checkpoints plus the sha256
+   digest of *every* window's end state — the checksum chain.
+2. **Parallel replay** (``shard.*_window`` jobs): worker ``k`` restores
+   checkpoint ``k-1`` and replays window ``k`` at full fidelity. Each
+   window is an ordinary cache-sound :class:`repro.exec.jobs.Job`: the
+   config embeds the boundary payload and its digest, so the cache key
+   covers ``(config digest, window index, boundary-state checksum)``
+   and a stale checkpoint can never alias a fresh result.
+3. **Ordered merge**: the parent folds the per-window measurement
+   deltas (:class:`repro.eval.runner.ExperimentCapture` states, latency
+   sketches, curve segments) in window order through the existing
+   ``merge_state`` machinery, verifying at each step that the replayed
+   window's end-state digest matches the forward chain. The merged
+   artifact is byte-identical to the serial windowed run — across
+   worker counts, cache hits and kill/resume.
+
+Both phases execute the *same* window function on freshly constructed
+objects (:meth:`repro.core.equinox.EquinoxAccelerator.run_window`,
+:meth:`repro.train.trainer.Trainer.run_epochs`,
+:func:`repro.serve.scenarios.simulate_scenario_window`), which is what
+makes forward and replay agree by construction; the digest chain turns
+that argument into a machine-checked invariant.
+
+The window count W is part of the canonical experiment spec: the
+serial oracle for a sharded run is the same windowed pipeline executed
+with one worker, and CI compares the two artifacts with ``cmp``.
+"""
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.canonical import config_digest
+from repro.exec.jobs import Job, run_job
+
+__all__ = [
+    "ShardError",
+    "boundary_digest",
+    "run_convergence_sharded",
+    "run_load_point_sharded",
+    "run_scenario_sharded",
+    "shard_load_forward",
+    "shard_load_window",
+    "shard_serve_forward",
+    "shard_serve_window",
+    "shard_train_forward",
+    "shard_train_window",
+]
+
+
+class ShardError(RuntimeError):
+    """A sharded run broke its checksum chain or merge cross-check."""
+
+
+def boundary_digest(payload: Dict[str, Any]) -> str:
+    """Content digest of a window-boundary payload (sha256 hex over the
+    canonical JSON form — the same digest function job cache keys use,
+    so both speak the same content-address language)."""
+    return config_digest(payload)
+
+
+def _map_jobs(
+    jobs: Sequence[Job], executor: Optional[Any]
+) -> List[Any]:
+    """Run jobs through the executor, or inline exactly as a worker
+    would (``run_job`` normalizes results through the canonical codec,
+    so serial and parallel executions are structurally identical)."""
+    if executor is not None:
+        return list(executor.map(list(jobs)))
+    return [run_job(job.fn_id, job.config, job.seed) for job in jobs]
+
+
+# ---------------------------------------------------------------------------
+# Load points (Figures 7 and 9)
+# ---------------------------------------------------------------------------
+
+
+def _build_point_accelerator(config: Dict[str, Any]) -> Any:
+    """The accelerator variant a load-point shard job runs — identical
+    construction in the forward pass and every replay worker."""
+    from repro.eval.runner import build_accelerator
+
+    training_model = None
+    if config.get("training"):
+        from repro.models.lstm import deepbench_lstm
+
+        training_model = deepbench_lstm()
+    return build_accelerator(
+        latency_class=str(config["latency_class"]),
+        encoding=str(config["encoding"]),
+        training_model=training_model,
+    )
+
+
+def shard_load_forward(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Phase 1 for one load point: the state-forwarding pass.
+
+    Config: ``latency_class``, ``encoding``, ``load``, ``batches``,
+    ``windows``, optional ``training``. Runs the windowed schedule
+    start to finish on one fresh accelerator per window, keeping only
+    the boundary payloads. Returns::
+
+        {"requests": int,             # total request budget
+         "checkpoints": [payload...], # W-1 interior boundary payloads
+         "digests": [sha256...],      # all W end-state digests
+         "events": [int...]}          # per-window simulator events
+
+    ``events`` is the honest per-window cost signal the benchmark uses
+    to pick the critical-path window.
+    """
+    windows = int(config["windows"])
+    accelerator = _build_point_accelerator(config)
+    requests = max(500, int(config["batches"]) * accelerator.batch_slots)
+    load = float(config["load"])
+
+    checkpoints: List[Dict[str, Any]] = []
+    digests: List[str] = []
+    events: List[int] = []
+    resume: Optional[Dict[str, Any]] = None
+    for index in range(windows):
+        accelerator = (
+            accelerator if index == 0 else _build_point_accelerator(config)
+        )
+        payload, _ = accelerator.run_window(
+            load, requests, windows, index, seed=seed, resume=resume
+        )
+        digests.append(boundary_digest(payload))
+        events.append(int(accelerator.sim.events_processed))
+        if index < windows - 1:
+            checkpoints.append(payload)
+        resume = payload
+    return {
+        "requests": requests,
+        "checkpoints": checkpoints,
+        "digests": digests,
+        "events": events,
+    }
+
+
+def shard_load_window(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Phase 2 for one load point: replay window ``index`` at full
+    observability.
+
+    Config: the forward config minus ``batches`` plus ``requests``,
+    ``index``, ``boundary_sha`` and ``resume`` (``None`` for window 0).
+    The boundary payload is *part of the job config*, so the cache key
+    is keyed by the boundary-state checksum. Returns the window's
+    end-state digest, its capture delta, and — from the final window —
+    the headline report measurements.
+    """
+    from repro.eval.runner import ExperimentCapture
+
+    windows = int(config["windows"])
+    index = int(config["index"])
+    resume = config["resume"]
+    if resume is not None:
+        sha_in = boundary_digest(resume)
+        if sha_in != config["boundary_sha"]:
+            raise ShardError(
+                f"window {index} handed a corrupt boundary payload: "
+                f"digest {sha_in[:12]} != expected "
+                f"{str(config['boundary_sha'])[:12]}"
+            )
+
+    accelerator = _build_point_accelerator(config)
+    capture = ExperimentCapture("load_window")
+    payload, report = accelerator.run_window(
+        float(config["load"]),
+        int(config["requests"]),
+        windows,
+        index,
+        seed=seed,
+        resume=resume,
+        on_restore=lambda: capture.prime(accelerator),
+    )
+    capture.observe(accelerator)
+
+    result: Dict[str, Any] = {
+        "sha_out": boundary_digest(payload),
+        "capture": capture.state_dict(),
+    }
+    if report is not None:
+        result["report"] = {
+            "inference_top_s": report.inference_top_s,
+            "training_top_s": report.training_top_s,
+            "p50_latency_us": report.p50_latency_us,
+            "p99_latency_us": report.p99_latency_us,
+            "mean_latency_us": report.mean_latency_us,
+            "requests_completed": report.requests_completed,
+        }
+    return result
+
+
+def _window_job_config(
+    base: Dict[str, Any],
+    index: int,
+    digests: Sequence[str],
+    checkpoints: Sequence[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """The per-window job config: base spec + window index + boundary
+    payload + boundary checksum (the three cache-key ingredients)."""
+    return {
+        **base,
+        "index": index,
+        "boundary_sha": None if index == 0 else digests[index - 1],
+        "resume": None if index == 0 else checkpoints[index - 1],
+    }
+
+
+def _verify_chain(
+    kind: str,
+    results: Sequence[Dict[str, Any]],
+    digests: Sequence[str],
+) -> None:
+    """Every replayed window must land on the forward pass's end-state
+    digest — the windows provably partition the one serial run."""
+    for index, result in enumerate(results):
+        if result["sha_out"] != digests[index]:
+            raise ShardError(
+                f"{kind} window {index} diverged from the forward pass: "
+                f"replay end-state digest {result['sha_out'][:12]} != "
+                f"forward {digests[index][:12]}"
+            )
+
+
+def run_load_point_sharded(
+    latency_class: str,
+    encoding: str,
+    load: float,
+    batches: int,
+    shards: int,
+    seed: int = 0,
+    executor: Optional[Any] = None,
+    training: bool = False,
+) -> Dict[str, Any]:
+    """Execute one load point as a W=``shards`` sharded run.
+
+    Returns the same shape as the ``eval.load_point`` job — headline
+    measurements plus a mergeable ``capture`` state — built by the
+    forward/replay/merge protocol. With ``executor`` the window jobs
+    fan out across workers; without one they run inline, in order
+    (the serial oracle).
+    """
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    from repro.eval.runner import ExperimentCapture
+
+    base = {
+        "latency_class": latency_class,
+        "encoding": encoding,
+        "load": load,
+        "windows": shards,
+    }
+    if training:
+        base["training"] = True
+
+    forward = _map_jobs(
+        [Job("shard.load_forward", {**base, "batches": batches}, seed=seed)],
+        executor,
+    )[0]
+    digests = forward["digests"]
+
+    window_base = {**base, "requests": forward["requests"]}
+    results = _map_jobs(
+        [
+            Job(
+                "shard.load_window",
+                _window_job_config(
+                    window_base, index, digests, forward["checkpoints"]
+                ),
+                seed=seed,
+            )
+            for index in range(shards)
+        ],
+        executor,
+    )
+    _verify_chain("load", results, digests)
+
+    merged = ExperimentCapture("load_point")
+    for result in results:
+        merged.merge_state(result["capture"])
+    report = results[-1].get("report")
+    if report is None:
+        raise ShardError("final load window returned no report")
+    return {**report, "capture": merged.state_dict()}
+
+
+# ---------------------------------------------------------------------------
+# Training convergence (Figure 2)
+# ---------------------------------------------------------------------------
+
+#: Figure 2 experiment name -> setup builder. Window splits are epoch
+#: ranges; the trainer state round-trips bit-exactly, so this tier of
+#: sharding is byte-identical even to the *unwindowed* serial run.
+_TRAIN_SETUPS: Dict[str, str] = {
+    "classification": "classification_setup",
+    "language_model": "language_model_setup",
+}
+
+
+def _train_setup(config: Dict[str, Any]) -> Tuple[Any, Any, Any]:
+    from repro.train import convergence
+
+    experiment = str(config["experiment"])
+    try:
+        builder: Callable[..., Any] = getattr(
+            convergence, _TRAIN_SETUPS[experiment]
+        )
+    except KeyError:
+        raise ValueError(
+            f"unknown training experiment {experiment!r}; "
+            f"known: {sorted(_TRAIN_SETUPS)}"
+        ) from None
+    return builder(str(config["encoding"]))
+
+
+def _epoch_boundary(epochs: int, windows: int, index: int) -> int:
+    """Cumulative epoch count after window ``index`` (same integer
+    split rule as the request quotas: ``epochs·(k+1) // windows``)."""
+    return (epochs * (index + 1)) // windows
+
+
+def shard_train_forward(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Phase 1 for one Figure 2 curve: train straight through without
+    per-epoch evaluation (evaluation only reads transient forward
+    caches, so skipping it cannot perturb the parameter trajectory),
+    snapshotting the trainer at each epoch-window boundary.
+
+    Config: ``experiment`` (``classification``/``language_model``),
+    ``encoding``, ``epochs``, ``windows``. The seed is carried in the
+    cache key only — data and init seeds are part of the experiment
+    definition.
+    """
+    windows = int(config["windows"])
+    epochs = int(config["epochs"])
+    trainer, train, valid = _train_setup(config)
+
+    checkpoints: List[Dict[str, Any]] = []
+    digests: List[str] = []
+    previous = 0
+    for index in range(windows):
+        boundary = _epoch_boundary(epochs, windows, index)
+        if boundary > previous:
+            trainer.run_epochs(
+                train, valid, previous + 1, boundary, evaluate=False
+            )
+        payload = trainer.to_state()
+        digests.append(boundary_digest(payload))
+        if index < windows - 1:
+            checkpoints.append(payload)
+        previous = boundary
+    return {"checkpoints": checkpoints, "digests": digests}
+
+
+def shard_train_window(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Phase 2 for one Figure 2 curve: replay epoch window ``index``
+    with per-epoch evaluation, producing that window's curve segment.
+
+    Config: forward config plus ``index``, ``boundary_sha``,
+    ``resume``. Returns the window's end-state digest and its curve
+    segment (possibly empty when W exceeds the epoch count).
+    """
+    windows = int(config["windows"])
+    epochs = int(config["epochs"])
+    index = int(config["index"])
+    resume = config["resume"]
+    if resume is not None:
+        sha_in = boundary_digest(resume)
+        if sha_in != config["boundary_sha"]:
+            raise ShardError(
+                f"train window {index} handed a corrupt boundary payload: "
+                f"digest {sha_in[:12]} != expected "
+                f"{str(config['boundary_sha'])[:12]}"
+            )
+
+    trainer, train, valid = _train_setup(config)
+    if resume is not None:
+        trainer.from_state(resume)
+
+    first = _epoch_boundary(epochs, windows, index - 1) + 1 if index else 1
+    last = _epoch_boundary(epochs, windows, index)
+    if last >= first:
+        curve = trainer.run_epochs(
+            train, valid, first, last, str(config["encoding"])
+        )
+        segment = {
+            "epochs": curve.epochs,
+            "validation_error": curve.validation_error,
+            "validation_loss": curve.validation_loss,
+        }
+    else:
+        segment = {"epochs": [], "validation_error": [], "validation_loss": []}
+    return {"sha_out": boundary_digest(trainer.to_state()), "curve": segment}
+
+
+def run_convergence_sharded(
+    experiment: str,
+    encodings: Sequence[str],
+    epochs: int,
+    shards: int,
+    seed: int = 0,
+    executor: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Execute one Figure 2 experiment sharded over epoch windows.
+
+    Returns ``{encoding: TrainingCurve}`` **bit-identical** to the
+    serial :func:`repro.train.convergence.convergence_experiment` /
+    ``perplexity_experiment`` output: the batch order is seeded per
+    epoch and evaluation is dynamics-transparent, so the epoch-window
+    split is exact, not merely windowed-canonical.
+    """
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    from repro.train.trainer import TrainingCurve
+
+    curves: Dict[str, Any] = {}
+    for encoding in encodings:
+        base = {
+            "experiment": experiment,
+            "encoding": encoding,
+            "epochs": int(epochs),
+            "windows": shards,
+        }
+        forward = _map_jobs(
+            [Job("shard.train_forward", base, seed=seed)], executor
+        )[0]
+        digests = forward["digests"]
+        results = _map_jobs(
+            [
+                Job(
+                    "shard.train_window",
+                    _window_job_config(
+                        base, index, digests, forward["checkpoints"]
+                    ),
+                    seed=seed,
+                )
+                for index in range(shards)
+            ],
+            executor,
+        )
+        _verify_chain("train", results, digests)
+
+        curve = TrainingCurve(encoding=encoding)
+        for result in results:
+            segment = result["curve"]
+            curve.epochs.extend(int(e) for e in segment["epochs"])
+            curve.validation_error.extend(
+                float(v) for v in segment["validation_error"]
+            )
+            curve.validation_loss.extend(
+                float(v) for v in segment["validation_loss"]
+            )
+        if curve.epochs != list(range(1, int(epochs) + 1)):
+            raise ShardError(
+                f"merged {encoding} curve does not cover epochs "
+                f"1..{epochs}: {curve.epochs}"
+            )
+        curves[encoding] = curve
+    return curves
+
+
+# ---------------------------------------------------------------------------
+# Fleet serving scenarios
+# ---------------------------------------------------------------------------
+
+
+def shard_serve_forward(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Phase 1 for one fleet scenario: fold the windowed schedule
+    forward, keeping only boundary payloads and the digest chain.
+
+    Config: a ``serve.fleet_scenario`` spec plus ``windows``.
+    """
+    from repro.serve.scenarios import simulate_scenario_window
+
+    windows = int(config["windows"])
+    checkpoints: List[Dict[str, Any]] = []
+    digests: List[str] = []
+    resume: Optional[Dict[str, Any]] = None
+    for index in range(windows):
+        step = simulate_scenario_window(
+            config, seed, index=index, windows=windows, resume=resume
+        )
+        payload = step["payload"]
+        digests.append(boundary_digest(payload))
+        if index < windows - 1:
+            checkpoints.append(payload)
+        resume = payload
+    return {"checkpoints": checkpoints, "digests": digests}
+
+
+def shard_serve_window(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Phase 2 for one fleet scenario: replay arrival window ``index``
+    collecting that window's per-tenant latency deltas.
+
+    Returns the end-state digest, the window's sketch states, and —
+    from the final window — the scenario summary plus the cumulative
+    sketches the merge cross-checks against.
+    """
+    from repro.serve.scenarios import simulate_scenario_window
+
+    windows = int(config["windows"])
+    index = int(config["index"])
+    resume = config["resume"]
+    if resume is not None:
+        sha_in = boundary_digest(resume)
+        if sha_in != config["boundary_sha"]:
+            raise ShardError(
+                f"serve window {index} handed a corrupt boundary payload: "
+                f"digest {sha_in[:12]} != expected "
+                f"{str(config['boundary_sha'])[:12]}"
+            )
+
+    step = simulate_scenario_window(
+        config,
+        seed,
+        index=index,
+        windows=windows,
+        resume=resume,
+        collect_window_sketches=True,
+    )
+    result: Dict[str, Any] = {
+        "sha_out": boundary_digest(step["payload"]),
+        "window_sketches": step["window_sketches"],
+    }
+    if step["summary"] is not None:
+        result["summary"] = step["summary"]
+        result["cumulative_sketches"] = step["cumulative_sketches"]
+    return result
+
+
+def _sketch_query_surface(sketch: Any) -> Tuple[Any, ...]:
+    """The query-visible identity of a sketch: count, exact sum,
+    extrema, buckets. (The exact-sum accumulator's internal expansion
+    is not a unique representation of its value, so equality is
+    defined on what queries can see.)"""
+    state = sketch.to_state()
+    return (
+        sketch.count,
+        sketch.sum,
+        sketch.min,
+        sketch.max,
+        tuple(sorted(state["buckets"].items())),
+        state["zero_count"],
+        state["inf_count"],
+    )
+
+
+def run_scenario_sharded(
+    spec: Dict[str, Any],
+    seed: int,
+    shards: int,
+    executor: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Execute one fleet scenario as a W=``shards`` sharded run.
+
+    Returns a ``serve.fleet_scenario``-shaped curve point. The
+    ``reproducible`` flag is the sharded replacement for the monolithic
+    double-run self-check: it asserts (a) every replayed window closed
+    the forward digest chain — enforced, a break raises — and (b) the
+    ordered merge of per-window latency sketches is query-identical to
+    the final window's cumulative sketches.
+    """
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    from repro.obs.sketch import QuantileSketch
+    from repro.serve.classes import TenantSpec
+
+    base = {**spec, "windows": shards}
+    forward = _map_jobs(
+        [Job("shard.serve_forward", base, seed=seed)], executor
+    )[0]
+    digests = forward["digests"]
+    results = _map_jobs(
+        [
+            Job(
+                "shard.serve_window",
+                _window_job_config(
+                    base, index, digests, forward["checkpoints"]
+                ),
+                seed=seed,
+            )
+            for index in range(shards)
+        ],
+        executor,
+    )
+    _verify_chain("serve", results, digests)
+
+    summary = results[-1].get("summary")
+    if summary is None:
+        raise ShardError("final serve window returned no summary")
+
+    tenants = [TenantSpec.from_dict(entry) for entry in spec["tenants"]]
+    merge_ok = True
+    for tenant in tenants:
+        merged = QuantileSketch()
+        for result in results:
+            merged.merge_state(result["window_sketches"][tenant.name])
+        cumulative = QuantileSketch.from_state(
+            results[-1]["cumulative_sketches"][tenant.name]
+        )
+        if _sketch_query_surface(merged) != _sketch_query_surface(cumulative):
+            merge_ok = False
+    summary["reproducible"] = merge_ok
+    return summary

@@ -52,17 +52,26 @@ def dse_points(config: Dict[str, Any], seed: int) -> List[Dict[str, Any]]:
 def eval_load_point(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """One inference load point on one accelerator variant (Figure 7).
 
-    Config: ``latency_class``, ``encoding``, ``load``, ``batches``.
-    Returns the headline measurements plus the full observability
-    capture state, so the parent process can fold the point into its
-    :class:`repro.eval.runner.ExperimentCapture` exactly as a serial
-    run would have.
+    Config: ``latency_class``, ``encoding``, ``load``, ``batches``,
+    plus optional ``training`` (default false; when true the variant
+    carries the DeepBench LSTM training workload, the Figure 9 shape —
+    the key is optional so pre-existing Figure 7 cache digests are
+    untouched). Returns the headline measurements plus the full
+    observability capture state, so the parent process can fold the
+    point into its :class:`repro.eval.runner.ExperimentCapture` exactly
+    as a serial run would have.
     """
     from repro.eval.runner import ExperimentCapture, build_accelerator
 
+    training_model = None
+    if config.get("training"):
+        from repro.models.lstm import deepbench_lstm
+
+        training_model = deepbench_lstm()
     accelerator = build_accelerator(
         latency_class=str(config["latency_class"]),
         encoding=str(config["encoding"]),
+        training_model=training_model,
     )
     batches = int(config["batches"])
     requests = max(500, batches * accelerator.batch_slots)

@@ -25,12 +25,12 @@ fall back to ``fast`` under that backend.
 Registered pairs:
 
 ========================  ============================================
-``bfp.quantize``          ``BlockFloatTensor.from_float`` body
+``bfp.quantize``          ``BlockFloatTensor.from_float`` body (compiled*)
 ``bfp.dequantize``        ``BlockFloatTensor.to_float`` body
 ``bfp.matmul``            ``bfp_matmul`` tile-lattice GEMM (compiled*)
 ``systolic.run``          ``SystolicArray.run`` register model (compiled*)
 ``systolic.stream``       ``SystolicArray.run_stream`` tile stream
-``im2col.pack``           ``im2col`` convolution lowering
+``im2col.pack``           ``im2col`` convolution lowering (compiled*)
 ========================  ============================================
 """
 
@@ -77,6 +77,7 @@ register_kernel(
     "bfp.quantize",
     ref_bfp.quantize,
     fast_bfp.quantize,
+    compiled=compiled.implementation("bfp.quantize"),
     doc="Block-floating-point encode (per-tile exponent + mantissas).",
 )
 register_kernel(
@@ -109,5 +110,6 @@ register_kernel(
     "im2col.pack",
     ref_im2col.pack,
     fast_im2col.pack,
+    compiled=compiled.implementation("im2col.pack"),
     doc="Convolution lowering to a GEMM activation matrix.",
 )

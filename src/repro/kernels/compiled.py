@@ -28,7 +28,13 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["available", "bfp_matmul", "systolic_run"]
+__all__ = [
+    "available",
+    "bfp_matmul",
+    "bfp_quantize",
+    "im2col_pack",
+    "systolic_run",
+]
 
 try:  # pragma: no cover - exercised only where numba is installed
     from numba import njit as _njit
@@ -46,12 +52,14 @@ def available() -> bool:
 
 _systolic_values = None
 _bfp_accumulate = None
+_quantize_tiles = None
+_im2col_gather = None
 
 
 def _build() -> None:
     """Compile the jitted bodies on first use (lazy: importing the
     package must never trigger numba compilation)."""
-    global _systolic_values, _bfp_accumulate
+    global _systolic_values, _bfp_accumulate, _quantize_tiles, _im2col_gather
     if _systolic_values is not None:
         return
 
@@ -97,8 +105,52 @@ def _build() -> None:
                                 acc = sat_lo
                             out[im * br_a + i, jn * bc_b + j] += acc * scale
 
+    @_njit(cache=True)
+    def quantize_tiles(  # pragma: no cover
+        padded, safe_scale, rnd, stochastic, br, bc, m_min, m_max, out
+    ):
+        pad_rows, pad_cols = padded.shape
+        for i in range(pad_rows):
+            ti = i // br
+            for j in range(pad_cols):
+                v = padded[i, j] / safe_scale[ti, j // bc]
+                f = np.floor(v)
+                if stochastic:
+                    m = f + (1.0 if rnd[i, j] < v - f else 0.0)
+                else:
+                    # Round half to even, matching np.round (rint).
+                    d = v - f
+                    if d > 0.5:
+                        m = f + 1.0
+                    elif d < 0.5:
+                        m = f
+                    else:
+                        m = f if f % 2.0 == 0.0 else f + 1.0
+                if m > m_max:
+                    m = m_max
+                elif m < m_min:
+                    m = m_min
+                out[i, j] = np.int32(m)
+
+    @_njit(cache=True)
+    def im2col_gather(xp, kernel, stride, out_h, out_w, out):  # pragma: no cover
+        b, c = xp.shape[0], xp.shape[1]
+        for n in range(b):
+            for oy in range(out_h):
+                for ox in range(out_w):
+                    row = (n * out_h + oy) * out_w + ox
+                    for ch in range(c):
+                        base = ch * kernel * kernel
+                        for ky in range(kernel):
+                            for kx in range(kernel):
+                                out[row, base + ky * kernel + kx] = xp[
+                                    n, ch, oy * stride + ky, ox * stride + kx
+                                ]
+
     _systolic_values = systolic_values
     _bfp_accumulate = bfp_accumulate
+    _quantize_tiles = quantize_tiles
+    _im2col_gather = im2col_gather
 
 
 def systolic_run(
@@ -160,6 +212,78 @@ def bfp_matmul(
     return out[:logical_rows, :logical_cols].astype(np.float32)
 
 
+def bfp_quantize(
+    values: np.ndarray,
+    fmt,
+    rounding: str = "nearest",
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray, Tuple[int, int]]:
+    """Compiled ``bfp.quantize``: jitted divide/round/clip loops.
+
+    The tile exponents and scales are computed with the *same* numpy
+    expressions as the reference — ``ceil(log2(max_abs))`` sits on
+    representability boundaries (a max fractionally above a power of
+    two can round its log to the exact integer), and reproducing those
+    outcomes bit for bit means running the identical ufuncs, not a
+    scalar-libm rewrite. Only the per-element work is jitted. The
+    stochastic draw happens here on the padded 4-D tile shape so the
+    RNG stream position matches the reference exactly.
+    """
+    if not _AVAILABLE:  # pragma: no cover - guarded by dispatch layer
+        raise RuntimeError("compiled kernel tier requires numba")
+    _build()
+    x = np.asarray(values, dtype=np.float64)
+    rows, cols = x.shape
+    br, bc = fmt.block_rows, fmt.block_cols
+    pad_rows = -(-rows // br) * br
+    pad_cols = -(-cols // bc) * bc
+    padded = np.zeros((pad_rows, pad_cols), dtype=np.float64)
+    padded[:rows, :cols] = x
+
+    tiles = padded.reshape(pad_rows // br, br, pad_cols // bc, bc)
+    max_abs = np.abs(tiles).max(axis=(1, 3))
+    with np.errstate(divide="ignore"):
+        exponents = np.where(
+            max_abs > 0, np.ceil(np.log2(max_abs)), fmt.exponent_min
+        ).astype(np.int64)
+    exponents = np.clip(exponents, fmt.exponent_min, fmt.exponent_max)
+    scale = np.exp2(exponents - (fmt.mantissa_bits - 1)).astype(np.float64)
+    safe_scale = np.where(max_abs > 0, scale, 1.0)
+
+    stochastic = rounding == "stochastic"
+    if stochastic:
+        rng = rng or np.random.default_rng()
+        rnd = rng.random(tiles.shape).reshape(pad_rows, pad_cols)
+    else:
+        rnd = np.zeros((1, 1), dtype=np.float64)  # never read
+    out = np.empty((pad_rows, pad_cols), dtype=np.int32)
+    _quantize_tiles(
+        padded, safe_scale, rnd, stochastic, br, bc,
+        float(fmt.mantissa_min), float(fmt.mantissa_max), out,
+    )
+    return out, exponents.astype(np.int32), (rows, cols)
+
+
+def im2col_pack(
+    x: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Compiled ``im2col.pack``: jitted gather loops, pure data movement."""
+    if not _AVAILABLE:  # pragma: no cover - guarded by dispatch layer
+        raise RuntimeError("compiled kernel tier requires numba")
+    _build()
+    b, c, h, _ = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (x.shape[3] - kernel) // stride + 1
+    out = np.empty((b * out_h * out_w, c * kernel * kernel), dtype=np.float32)
+    _im2col_gather(
+        np.ascontiguousarray(x, dtype=np.float32),
+        kernel, stride, out_h, out_w, out,
+    )
+    return out
+
+
 def implementation(name: str) -> Optional[Callable]:
     """The compiled implementation for ``name``, or None when the pair
     has no compiled mirror — or numba is absent entirely. A None here
@@ -172,4 +296,6 @@ def implementation(name: str) -> Optional[Callable]:
     return {
         "systolic.run": systolic_run,
         "bfp.matmul": bfp_matmul,
+        "bfp.quantize": bfp_quantize,
+        "im2col.pack": im2col_pack,
     }.get(name)

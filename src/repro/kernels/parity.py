@@ -278,36 +278,55 @@ def corpus() -> List[ParityCase]:
     return cases
 
 
-def _diff(name: str, ref: Any, fast: Any) -> List[str]:
+def _diff(name: str, ref: Any, got: Any, backend: str = "fast") -> List[str]:
     if isinstance(ref, np.ndarray):
-        if not isinstance(fast, np.ndarray):
-            return [f"{name}: fast returned {type(fast).__name__}, not ndarray"]
-        if ref.dtype != fast.dtype:
-            return [f"{name}: dtype {fast.dtype} != reference {ref.dtype}"]
-        if ref.shape != fast.shape:
-            return [f"{name}: shape {fast.shape} != reference {ref.shape}"]
-        if not np.array_equal(ref, fast):
-            bad = int(np.sum(ref != fast))
-            return [f"{name}: {bad}/{ref.size} elements differ bitwise"]
+        if not isinstance(got, np.ndarray):
+            return [
+                f"{name}: {backend} returned {type(got).__name__}, not ndarray"
+            ]
+        if ref.dtype != got.dtype:
+            return [f"{name}: dtype {got.dtype} != reference {ref.dtype}"]
+        if ref.shape != got.shape:
+            return [f"{name}: shape {got.shape} != reference {ref.shape}"]
+        if not np.array_equal(ref, got):
+            bad = int(np.sum(ref != got))
+            return [
+                f"{name}: {bad}/{ref.size} elements differ bitwise ({backend})"
+            ]
         return []
-    if ref != fast:
-        return [f"{name}: fast {fast!r} != reference {ref!r}"]
+    if ref != got:
+        return [f"{name}: {backend} {got!r} != reference {ref!r}"]
     return []
 
 
+def _candidate_backends() -> List[str]:
+    """Backends checked against the reference: always ``fast``, plus
+    ``compiled`` when numba is importable (pairs without a compiled
+    mirror fall back to fast there, which re-checks fast harmlessly)."""
+    from repro.kernels.registry import compiled_available
+
+    backends = ["fast"]
+    if compiled_available():
+        backends.append("compiled")
+    return backends
+
+
 def check_case(case: ParityCase) -> List[str]:
-    """Run one case under both backends; return mismatch descriptions."""
+    """Run one case under every backend; return mismatch descriptions."""
     ref = case.run("reference")
-    fast = case.run("fast")
     problems: List[str] = []
-    for key in ref:
-        if key not in fast:
-            problems.append(f"{key}: missing from fast payload")
-            continue
-        problems.extend(_diff(key, ref[key], fast[key]))
-    for key in fast:
-        if key not in ref:
-            problems.append(f"{key}: unexpected extra key in fast payload")
+    for backend in _candidate_backends():
+        got = case.run(backend)
+        for key in ref:
+            if key not in got:
+                problems.append(f"{key}: missing from {backend} payload")
+                continue
+            problems.extend(_diff(key, ref[key], got[key], backend))
+        for key in got:
+            if key not in ref:
+                problems.append(
+                    f"{key}: unexpected extra key in {backend} payload"
+                )
     return [f"[{case.kernel}] {case.name} :: {p}" for p in problems]
 
 

@@ -17,9 +17,32 @@ counted in its own bucket rather than poisoning interpolation.
 """
 
 import math
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 __all__ = ["QuantileSketch"]
+
+
+def _grow_expansion(partials: List[float], x: float) -> None:
+    """Add ``x`` into a Shewchuk expansion of non-overlapping partials.
+
+    The expansion represents the *exact* real sum of every term ever
+    added (each two-sum step is error-free), so two sketches that
+    observed the same multiset of samples carry the same exact sum no
+    matter how the observations were grouped or merged — the property
+    the sharded executor's window merge relies on for byte-identical
+    artifacts. Same algorithm as ``math.fsum``, kept incremental.
+    """
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
 
 #: Default guaranteed relative accuracy of quantile estimates.
 DEFAULT_RELATIVE_ACCURACY = 0.005
@@ -42,7 +65,7 @@ class QuantileSketch:
 
     __slots__ = (
         "relative_accuracy", "max_buckets", "_gamma", "_log_gamma",
-        "_buckets", "_zero_count", "_inf_count", "_count", "_sum",
+        "_buckets", "_zero_count", "_inf_count", "_count", "_partials",
         "_min", "_max",
     )
 
@@ -65,7 +88,10 @@ class QuantileSketch:
         self._zero_count = 0
         self._inf_count = 0
         self._count = 0
-        self._sum = 0.0
+        #: Exact running sum as a Shewchuk expansion (finite terms only;
+        #: infinities are tracked by ``_inf_count``). Exactness makes
+        #: ``sum`` independent of observation grouping and merge order.
+        self._partials: List[float] = []
         self._min: Optional[float] = None
         self._max: Optional[float] = None
 
@@ -88,9 +114,8 @@ class QuantileSketch:
         self._max = value if self._max is None else max(self._max, value)
         if math.isinf(value):
             self._inf_count += count
-            self._sum = math.inf
             return
-        self._sum += value * count
+        _grow_expansion(self._partials, value * count)
         if value == 0.0:
             self._zero_count += count
             return
@@ -115,7 +140,11 @@ class QuantileSketch:
         self._zero_count += other._zero_count
         self._inf_count += other._inf_count
         self._count += other._count
-        self._sum += other._sum
+        # Folding the other expansion term-by-term keeps the merged sum
+        # exact, so merging per-window sketches in any grouping equals
+        # the serial cumulative sketch bit-for-bit.
+        for partial in other._partials:
+            _grow_expansion(self._partials, partial)
         for bound in (other._min, other._max):
             if bound is not None:
                 self._min = bound if self._min is None else min(self._min, bound)
@@ -142,7 +171,9 @@ class QuantileSketch:
 
     @property
     def sum(self) -> float:
-        return self._sum
+        if self._inf_count:
+            return math.inf
+        return math.fsum(self._partials)
 
     @property
     def min(self) -> float:
@@ -159,7 +190,7 @@ class QuantileSketch:
     def mean(self) -> float:
         if self._count == 0:
             raise ValueError("no samples observed")
-        return self._sum / self._count
+        return self.sum / self._count
 
     def quantile(self, q: float) -> float:
         """The ``q``-th percentile (0-100), nearest-rank over buckets.
@@ -206,7 +237,10 @@ class QuantileSketch:
             "zero_count": self._zero_count,
             "inf_count": self._inf_count,
             "count": self._count,
-            "sum": self._sum,
+            "sum": self.sum,
+            # The exact expansion itself: "sum" above is the rounded
+            # summary, the partials are what merge losslessly.
+            "partials": list(self._partials),
             "min": self._min,
             "max": self._max,
         }
@@ -225,7 +259,14 @@ class QuantileSketch:
         sketch._zero_count = int(state["zero_count"])  # type: ignore[arg-type]
         sketch._inf_count = int(state["inf_count"])  # type: ignore[arg-type]
         sketch._count = int(state["count"])  # type: ignore[arg-type]
-        sketch._sum = float(state["sum"])  # type: ignore[arg-type]
+        partials = state.get("partials")
+        if partials is None:
+            # Pre-partials snapshot: the rounded sum is the best
+            # expansion available (exact for any sum that fits one
+            # float, which covers every such legacy artifact in-repo).
+            total = float(state["sum"])  # type: ignore[arg-type]
+            partials = [total] if math.isfinite(total) and total else []
+        sketch._partials = [float(p) for p in partials]
         for bound in ("min", "max"):
             value = state[bound]
             setattr(
@@ -244,7 +285,7 @@ class QuantileSketch:
         if self._count == 0:
             return out
         out.update(
-            sum=self._sum,
+            sum=self.sum,
             min=self.min,
             max=self.max,
             mean=self.mean(),

@@ -273,6 +273,12 @@ class FleetRouter:
                 (start + offset) % fleet_size for offset in range(affinity_size)
             ]
         self._next_request_id = 0
+        #: Optional per-tenant *window* sketches: when set (by the
+        #: sharded scenario driver), every completion is observed into
+        #: these in addition to the cumulative ``sketches`` — the
+        #: window's delta, shipped back for ordered merging. Transient
+        #: by design: never part of :meth:`to_state`.
+        self.window_sketches: Optional[Dict[str, QuantileSketch]] = None
         self.submitted_by_tenant: Dict[str, int] = dict.fromkeys(
             self._tenant_names, 0
         )
@@ -357,24 +363,48 @@ class FleetRouter:
         for request in batch.requests:
             assert request.tenant is not None
             self.sketches[request.tenant].observe(request.latency_cycles)
+            if self.window_sketches is not None:
+                self.window_sketches[request.tenant].observe(
+                    request.latency_cycles
+                )
             self.completed_by_tenant[request.tenant] += 1
 
     # ------------------------------------------------------------------
     # Chip failure
     # ------------------------------------------------------------------
 
+    def kill_keys(self) -> Dict[str, "Any"]:
+        """Key → callback for every plan kill event, ``serve.kill.<id>``.
+
+        The kill events are **keyed** so a mid-run fleet snapshot can
+        serialize them; a restoring driver passes this mapping (built
+        on the new router) to :meth:`repro.sim.engine.Simulator.
+        from_state` to re-arm the un-fired kills bit-exactly.
+        """
+        if self.fault_plan is None:
+            return {}
+        return {
+            f"serve.kill.{chip_id}": (
+                lambda cid=chip_id: self.kill_chip(cid)
+            )
+            for chip_id in self.fault_plan.workers.crashed
+            if 0 <= chip_id < self.fleet_size
+        }
+
     def schedule_kills(self, horizon_cycles: float) -> None:
         """Arm one kill event per crashed worker id in the fault plan,
         at a plan-seeded cycle inside :data:`KILL_WINDOW`."""
         if self.fault_plan is None:
             return
+        keys = self.kill_keys()
         for chip_id in self.fault_plan.workers.crashed:
             if not 0 <= chip_id < self.fleet_size:
                 continue
             rng = self.fault_plan.rng(CHIP_KILL_SUBSTREAM, chip_id)
             low, high = KILL_WINDOW
             kill_cycle = float(rng.uniform(low, high)) * horizon_cycles
-            self.sim.at(kill_cycle, lambda cid=chip_id: self.kill_chip(cid))
+            key = f"serve.kill.{chip_id}"
+            self.sim.at(kill_cycle, keys[key], key=key)
 
     def kill_chip(self, chip_id: int) -> None:
         """Kill a chip now and fail its live requests over through

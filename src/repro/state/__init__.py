@@ -31,6 +31,7 @@ from repro.state.checkpoint import (
 )
 from repro.state.protocol import (
     CHECKPOINT_ROOTS,
+    WINDOW_MERGE_ROOTS,
     SnapshotError,
     restore_rng,
     rng_state,
@@ -46,6 +47,7 @@ __all__ = [
     "GracefulShutdown",
     "ShutdownRequested",
     "SnapshotError",
+    "WINDOW_MERGE_ROOTS",
     "read_checkpoint",
     "restore_rng",
     "rng_state",

@@ -29,6 +29,28 @@ def _mlp(
     )
 
 
+def classification_setup(
+    encoding: str,
+    samples: int = 2400,
+    hidden: int = 128,
+    classes: int = 10,
+    seed: int = 7,
+) -> "Tuple[Trainer, Tuple[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]]":
+    """Build the Figure 2a trainer and data splits for one encoding.
+
+    Dataset generation and model initialization are both functions of
+    ``seed`` alone, so every caller — the serial experiment, a forward
+    shard, a replay worker — reconstructs bit-identical starting state
+    from pure parameters. Returns ``(trainer, train, valid)``.
+    """
+    x, y = synthetic_image_classes(samples=samples, classes=classes, seed=seed)
+    split = int(0.8 * samples)
+    train, valid = (x[:split], y[:split]), (x[split:], y[split:])
+    model = _mlp(x.shape[1], hidden, classes, encoding, seed)
+    trainer = Trainer(model, SGD(lr=0.05, momentum=0.9), batch=64, seed=seed)
+    return trainer, train, valid
+
+
 def convergence_experiment(
     encodings: Sequence[str] = ("fp32", "hbfp8"),
     epochs: int = 12,
@@ -47,15 +69,15 @@ def convergence_experiment(
     """
     from repro.kernels import use_backend
 
-    x, y = synthetic_image_classes(samples=samples, classes=classes, seed=seed)
-    split = int(0.8 * samples)
-    train, valid = (x[:split], y[:split]), (x[split:], y[split:])
     curves: Dict[str, TrainingCurve] = {}
     with use_backend(kernel_backend):
         for encoding in encodings:
-            model = _mlp(x.shape[1], hidden, classes, encoding, seed)
-            trainer = Trainer(
-                model, SGD(lr=0.05, momentum=0.9), batch=64, seed=seed
+            trainer, train, valid = classification_setup(
+                encoding,
+                samples=samples,
+                hidden=hidden,
+                classes=classes,
+                seed=seed,
             )
             curves[encoding] = trainer.fit(train, valid, epochs, encoding)
     return curves
@@ -73,6 +95,29 @@ def _char_lm_dataset(
         x[np.arange(windows), offset * vocab + chars] = 1.0
     y[:] = corpus[context : context + windows]
     return x, y
+
+
+def language_model_setup(
+    encoding: str,
+    corpus_length: int = 12000,
+    vocab: int = 32,
+    context: int = 3,
+    hidden: int = 96,
+    seed: int = 11,
+) -> "Tuple[Trainer, Tuple[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]]":
+    """Build the Figure 2b trainer and data splits for one encoding.
+
+    Pure function of its parameters (see :func:`classification_setup`);
+    the sharded executor relies on this to reconstruct identical state
+    in every worker. Returns ``(trainer, train, valid)``.
+    """
+    corpus = synthetic_char_corpus(length=corpus_length, vocab=vocab, seed=seed)
+    x, y = _char_lm_dataset(corpus, vocab, context)
+    split = int(0.85 * len(x))
+    train, valid = (x[:split], y[:split]), (x[split:], y[split:])
+    model = _mlp(x.shape[1], hidden, vocab, encoding, seed)
+    trainer = Trainer(model, SGD(lr=0.1, momentum=0.9), batch=64, seed=seed)
+    return trainer, train, valid
 
 
 def perplexity_experiment(
@@ -95,16 +140,16 @@ def perplexity_experiment(
     """
     from repro.kernels import use_backend
 
-    corpus = synthetic_char_corpus(length=corpus_length, vocab=vocab, seed=seed)
-    x, y = _char_lm_dataset(corpus, vocab, context)
-    split = int(0.85 * len(x))
-    train, valid = (x[:split], y[:split]), (x[split:], y[split:])
     curves: Dict[str, TrainingCurve] = {}
     with use_backend(kernel_backend):
         for encoding in encodings:
-            model = _mlp(x.shape[1], hidden, vocab, encoding, seed)
-            trainer = Trainer(
-                model, SGD(lr=0.1, momentum=0.9), batch=64, seed=seed
+            trainer, train, valid = language_model_setup(
+                encoding,
+                corpus_length=corpus_length,
+                vocab=vocab,
+                context=context,
+                hidden=hidden,
+                seed=seed,
             )
             curves[encoding] = trainer.fit(train, valid, epochs, encoding)
     return curves

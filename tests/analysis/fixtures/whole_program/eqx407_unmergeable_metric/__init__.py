@@ -1,0 +1,1 @@
+"""EQX407 fixture: window-merge metric roots with missing folds."""

@@ -1,0 +1,51 @@
+"""Window-merged metric types — one sound, one missing its fold, one
+suppressed."""
+
+
+class Histogram:
+    """Carries the full contract: snapshot pair plus the fold."""
+
+    def __init__(self):
+        self.buckets = {}
+
+    def observe(self, value):
+        self.buckets[value] = self.buckets.get(value, 0) + 1
+
+    def to_state(self):
+        return {"buckets": dict(self.buckets)}
+
+    def from_state(self, state):
+        self.buckets = dict(state["buckets"])
+
+    def merge_state(self, state):
+        for key, count in state["buckets"].items():
+            self.buckets[key] = self.buckets.get(key, 0) + count
+
+
+class Tally:
+    """Snapshot pair but no merge_state: the window fold cannot run."""
+
+    def __init__(self):
+        self.total = 0
+
+    def add(self, n):
+        self.total += n
+
+    def to_state(self):
+        return {"total": self.total}
+
+    def from_state(self, state):
+        self.total = int(state["total"])
+
+
+class Exempt:  # eqx: ignore[EQX407]
+    """Suppressed on the class line: deliberately outside the fold."""
+
+    def __init__(self):
+        self.seen = 0
+
+    def to_state(self):
+        return {"seen": self.seen}
+
+    def from_state(self, state):
+        self.seen = int(state["seen"])

@@ -1,0 +1,7 @@
+"""The statically-decoded window-merge root table for this fixture."""
+
+WINDOW_MERGE_ROOTS = {
+    "histogram": "eqx407_unmergeable_metric.metrics:Histogram",
+    "tally": "eqx407_unmergeable_metric.metrics:Tally",
+    "exempt": "eqx407_unmergeable_metric.metrics:Exempt",
+}

@@ -1,0 +1,93 @@
+"""Standalone driver for the cross-process shard-equivalence drill.
+
+Runs one small load point through the snapshot-sharded executor
+(:func:`repro.exec.shard.run_load_point_sharded`) and writes the full
+artifact — headline report plus merged capture state — as canonical
+JSON, so two invocations can be compared byte for byte:
+
+* ``serial OUT --shards W`` — window jobs run inline, in order
+  (``executor=None``): the serial oracle at window count W.
+* ``sharded OUT --shards W --ckpt DIR [--jobs N] [--kill-after K]
+  [--resume]`` — window jobs fan out through a journaling
+  :class:`repro.exec.JobRunner`. ``--kill-after`` arms the SIGKILL
+  drill (the process dies after the Kth journal append, never
+  mid-write); ``--resume`` replays the journal a previous killed run
+  left behind instead of re-executing its jobs.
+
+The runner counters go to stderr as ``executed=N ... journal_hits=M``
+so the test can assert a resumed run really replayed the journaled
+windows rather than silently redoing the work.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+# One deliberately small fig7-shaped load point: big enough to cross
+# window boundaries with work in every window, small enough that the
+# whole kill/resume drill stays in test-suite time.
+POINT = {
+    "latency_class": "500us",
+    "encoding": "hbfp8",
+    "load": 0.5,
+    "batches": 1,
+    "seed": 3,
+}
+
+
+def _run(shards, executor):
+    from repro.exec.shard import run_load_point_sharded
+
+    return run_load_point_sharded(
+        POINT["latency_class"],
+        POINT["encoding"],
+        POINT["load"],
+        POINT["batches"],
+        shards,
+        seed=POINT["seed"],
+        executor=executor,
+    )
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("mode", choices=("serial", "sharded"))
+    parser.add_argument("out", type=Path)
+    parser.add_argument("--shards", type=int, required=True)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--ckpt", type=Path, default=None)
+    parser.add_argument("--kill-after", type=int, default=None)
+    parser.add_argument("--resume", action="store_true")
+    args = parser.parse_args(argv)
+
+    from repro.exec.canonical import canonical_json
+
+    if args.mode == "serial":
+        artifact = _run(args.shards, executor=None)
+        args.out.write_text(canonical_json(artifact))
+        return 0
+
+    from repro.exec.scheduler import JobRunner
+    from repro.faults.killswitch import KillSwitch
+
+    runner = JobRunner(
+        jobs=args.jobs,
+        checkpoint_dir=args.ckpt,
+        resume=args.resume,
+        on_unit_done=KillSwitch(args.kill_after).note_unit_done,
+    )
+    artifact = _run(args.shards, executor=runner)
+    args.out.write_text(canonical_json(artifact))
+    print(
+        " ".join(
+            f"{name}={value}" for name, value in sorted(
+                runner.counters.items()
+            )
+        ),
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,307 @@
+"""Snapshot-sharded execution equivalence: for every experiment tier
+the sharded artifact is byte-identical to its serial oracle — across
+shard counts, worker counts, and a mid-window SIGKILL/--resume cycle.
+
+The load-point and serve tiers compare against the serial *windowed*
+pipeline at the same W (W is part of the canonical spec); the training
+tier is stronger — epoch windows are exact, so every shard count must
+reproduce the unsharded experiment bit for bit.
+"""
+
+import copy
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exec.canonical import canonical_json
+from repro.exec.jobs import run_job
+from repro.exec.scheduler import JobRunner
+from repro.exec.shard import (
+    ShardError,
+    boundary_digest,
+    run_convergence_sharded,
+    run_load_point_sharded,
+    run_scenario_sharded,
+    shard_load_forward,
+    shard_load_window,
+)
+from repro.serve.classes import TenantSpec
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+DRIVER = Path(__file__).parent / "_shard_driver.py"
+
+#: The fuzz axis: one window (degenerate), even split, prime count,
+#: and more windows than some tiers have work for.
+SHARD_COUNTS = (1, 2, 7, 16)
+
+SEED = 3
+POINT = {
+    "latency_class": "500us",
+    "encoding": "hbfp8",
+    "load": 0.5,
+    "batches": 1,
+}
+
+EPOCHS = 2
+
+
+def _load_point(shards, executor=None):
+    return run_load_point_sharded(
+        POINT["latency_class"],
+        POINT["encoding"],
+        POINT["load"],
+        POINT["batches"],
+        shards,
+        seed=SEED,
+        executor=executor,
+    )
+
+
+def _scenario_spec(fleet_size=2, requests=200, plan=None):
+    tenants = [
+        TenantSpec("interactive", "latency-critical", 0.25),
+        TenantSpec("bulk", "best-effort", 1.0),
+        TenantSpec("trainer", "batch-training", 0.35),
+    ]
+    return {
+        "fleet_size": fleet_size,
+        "requests": requests,
+        "tenants": [spec.to_dict() for spec in tenants],
+        "plan": plan,
+        "batch_service_cycles": 1000.0,
+        "batch_slots": 8,
+        "frequency_hz": 1e9,
+    }
+
+
+class TestLoadPointEquivalence:
+    """Figure 7/9 tier: forward/replay/merge over request windows."""
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        """The serial oracle per shard count: the same windowed
+        pipeline with the window jobs run inline, in order."""
+        return {w: _load_point(w) for w in SHARD_COUNTS}
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_workers_match_serial_oracle(self, serial, shards):
+        fanned = _load_point(shards, executor=JobRunner(jobs=2))
+        assert canonical_json(fanned) == canonical_json(serial[shards])
+
+    def test_w1_headline_matches_unsharded_job(self, serial):
+        """One window degenerates to the plain schedule: the headline
+        report must equal the monolithic ``eval.load_point`` job's."""
+        plain = run_job("eval.load_point", dict(POINT), SEED)
+        sharded = dict(serial[1])
+        plain.pop("capture")
+        sharded.pop("capture")
+        assert sharded == plain
+
+    def test_artifacts_depend_on_window_count(self, serial):
+        """W is part of the canonical spec: the capture state of a
+        W=2 run is not interchangeable with W=7's (the quiesce
+        boundaries are observable), which is exactly why CI compares
+        artifacts at matched W."""
+        assert canonical_json(serial[2]) != canonical_json(serial[7])
+
+    def test_corrupt_boundary_payload_is_refused(self):
+        forward = shard_load_forward(
+            {**{k: v for k, v in POINT.items()}, "windows": 2}, SEED
+        )
+        tampered = copy.deepcopy(forward["checkpoints"][0])
+        tampered["__tampered__"] = 1
+        config = {
+            "latency_class": POINT["latency_class"],
+            "encoding": POINT["encoding"],
+            "load": POINT["load"],
+            "windows": 2,
+            "requests": forward["requests"],
+            "index": 1,
+            "boundary_sha": forward["digests"][0],
+            "resume": tampered,
+        }
+        with pytest.raises(ShardError, match="corrupt boundary"):
+            shard_load_window(config, SEED)
+        # The untampered payload really was the digest's preimage.
+        assert (
+            boundary_digest(forward["checkpoints"][0])
+            == forward["digests"][0]
+        )
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            _load_point(0)
+        with pytest.raises(ValueError, match="at least one shard"):
+            run_convergence_sharded("classification", ["hbfp8"], 1, 0)
+        with pytest.raises(ValueError, match="at least one shard"):
+            run_scenario_sharded(_scenario_spec(), SEED, 0)
+
+
+class TestConvergenceEquivalence:
+    """Figure 2 tier: epoch windows are exact, so every shard count
+    reproduces the unsharded experiment bit for bit — including W
+    beyond the epoch count (empty tail windows)."""
+
+    @staticmethod
+    def _curve_value(curve):
+        return (
+            curve.epochs,
+            curve.validation_error,
+            curve.validation_loss,
+        )
+
+    @pytest.fixture(scope="class")
+    def unsharded(self):
+        from repro.train.convergence import convergence_experiment
+
+        curves = convergence_experiment(
+            encodings=["hbfp8"], epochs=EPOCHS
+        )
+        return self._curve_value(curves["hbfp8"])
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_every_shard_count_is_bit_identical(self, unsharded, shards):
+        curves = run_convergence_sharded(
+            "classification", ["hbfp8"], EPOCHS, shards, seed=SEED
+        )
+        assert self._curve_value(curves["hbfp8"]) == unsharded
+
+    def test_workers_match_inline(self, unsharded):
+        curves = run_convergence_sharded(
+            "classification",
+            ["hbfp8"],
+            EPOCHS,
+            2,
+            seed=SEED,
+            executor=JobRunner(jobs=2),
+        )
+        assert self._curve_value(curves["hbfp8"]) == unsharded
+
+    def test_unknown_experiment_is_named(self):
+        with pytest.raises(ValueError, match="unknown training experiment"):
+            run_convergence_sharded("diffusion", ["hbfp8"], 1, 1)
+
+
+class TestScenarioEquivalence:
+    """Fleet-serving tier: arrival windows with the sketch-merge
+    cross-check standing in for the monolithic double-run flag."""
+
+    @pytest.mark.parametrize("shards", (1, 2, 7))
+    def test_workers_match_serial_oracle(self, shards):
+        spec = _scenario_spec()
+        inline = run_scenario_sharded(spec, SEED, shards)
+        fanned = run_scenario_sharded(
+            spec, SEED, shards, executor=JobRunner(jobs=2)
+        )
+        assert inline["reproducible"] is True
+        assert canonical_json(fanned) == canonical_json(inline)
+
+    def test_chip_kill_crosses_window_boundaries(self):
+        """A fault plan's counters accumulate across windows: the
+        sharded accounting identity still closes per class."""
+        from repro.faults.plan import FaultPlan, WorkerFaultSpec
+
+        plan = FaultPlan(seed=5, workers=WorkerFaultSpec(crashed=(1,)))
+        spec = _scenario_spec(
+            fleet_size=4, requests=400, plan=plan.to_dict()
+        )
+        point = run_scenario_sharded(spec, SEED, 3)
+        assert point["reproducible"] is True
+        assert point["totals"]["chips_killed"] == 1
+        for name, entry in point["classes"].items():
+            assert entry["submitted"] == (
+                entry["completed"] + entry["shed"] + entry["timed_out"]
+                + entry["failover_dropped"]
+            ), name
+
+
+class TestFaultCounterFold:
+    """The window-merge fold on FaultCounters: summing snapshots in
+    boundary order reproduces serial accumulation exactly."""
+
+    def test_merge_state_equals_serial_accumulation(self):
+        from repro.faults.counters import FaultCounters
+
+        windows = [
+            FaultCounters(hbm_errors=2, degraded_cycles=1.5, hbm_retries=1),
+            FaultCounters(mmu_stalls=3, mmu_stall_cycles=7.25),
+            FaultCounters(hbm_errors=1, workers_crashed=1),
+        ]
+        serial = FaultCounters()
+        for window in windows:
+            serial.merge(window)
+
+        folded = FaultCounters()
+        for window in windows:
+            folded.merge_state(window.to_state())
+        assert folded.as_dict() == serial.as_dict()
+        # The fold preserves types, not just values (float cycles stay
+        # float, integer tallies stay int) — canonical JSON depends on it.
+        assert isinstance(folded.degraded_cycles, float)
+        assert isinstance(folded.hbm_errors, int)
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return env
+
+
+def _driver(args, **kwargs):
+    return subprocess.run(
+        [sys.executable, str(DRIVER)] + [str(a) for a in args],
+        capture_output=True, text=True, env=_env(), **kwargs,
+    )
+
+
+class TestCrossProcessCrashResume:
+    def test_sigkill_mid_window_then_resume_is_byte_identical(
+        self, tmp_path
+    ):
+        """The CI shard drill, in miniature: a W=4 sharded run is
+        SIGKILLed after its third journal append (forward pass plus two
+        replayed windows), then resumed in a fresh process. The resumed
+        run must replay exactly the journaled jobs and land on the
+        serial oracle's bytes."""
+        reference = tmp_path / "reference.json"
+        out = tmp_path / "sharded.json"
+        ckpt = tmp_path / "ckpt"
+
+        oracle = _driver(["serial", reference, "--shards", 4])
+        assert oracle.returncode == 0, oracle.stderr
+
+        killed = _driver(
+            ["sharded", out, "--shards", 4, "--ckpt", ckpt,
+             "--kill-after", 3]
+        )
+        assert killed.returncode == -signal.SIGKILL
+        journal = ckpt / "journal.jsonl"
+        assert len(journal.read_text().splitlines()) == 3
+        assert not out.exists()
+
+        resumed = _driver(
+            ["sharded", out, "--shards", 4, "--ckpt", ckpt, "--resume"]
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "journal_hits=3" in resumed.stderr
+        assert out.read_bytes() == reference.read_bytes()
+
+    def test_uninterrupted_workers_land_on_oracle_bytes(self, tmp_path):
+        """No kill, two workers, fresh journal: still byte-equal."""
+        reference = tmp_path / "reference.json"
+        out = tmp_path / "sharded.json"
+
+        oracle = _driver(["serial", reference, "--shards", 2])
+        assert oracle.returncode == 0, oracle.stderr
+        fanned = _driver(
+            ["sharded", out, "--shards", 2, "--jobs", 2,
+             "--ckpt", tmp_path / "ckpt"]
+        )
+        assert fanned.returncode == 0, fanned.stderr
+        assert out.read_bytes() == reference.read_bytes()

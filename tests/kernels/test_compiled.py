@@ -34,12 +34,13 @@ class TestAvailability:
         assert kernels.compiled_available() is compiled.available()
 
     def test_pairs_without_mirror_fall_back_to_fast(self):
-        pair = kernels.get_kernel("im2col.pack")
+        pair = kernels.get_kernel("systolic.stream")
         assert pair.compiled is None
         assert pair.implementation("compiled") is pair.fast
 
     def test_hot_pairs_carry_mirror_iff_numba(self):
-        for name in ("systolic.run", "bfp.matmul"):
+        for name in ("systolic.run", "bfp.matmul", "bfp.quantize",
+                     "im2col.pack"):
             pair = kernels.get_kernel(name)
             if HAS_NUMBA:
                 assert pair.compiled is not None
@@ -50,6 +51,8 @@ class TestAvailability:
         if not HAS_NUMBA:
             assert compiled.implementation("systolic.run") is None
             assert compiled.implementation("bfp.matmul") is None
+            assert compiled.implementation("bfp.quantize") is None
+            assert compiled.implementation("im2col.pack") is None
         assert compiled.implementation("no.such.kernel") is None
 
 
@@ -92,13 +95,14 @@ class TestCompiledParity:
 
         problems = []
         for case in parity.corpus():
-            if case.kernel not in ("systolic.run", "bfp.matmul"):
+            if case.kernel not in ("systolic.run", "bfp.matmul",
+                                   "bfp.quantize", "im2col.pack"):
                 continue
             ref = case.run("reference")
             comp = case.run("compiled")
             for key in ref:
                 problems.extend(parity._diff(f"{case.name}:{key}",
-                                             ref[key], comp[key]))
+                                             ref[key], comp[key], "compiled"))
         assert problems == [], "\n".join(problems)
 
     def test_set_backend_compiled_roundtrip(self):

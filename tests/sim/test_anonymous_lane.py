@@ -1,0 +1,102 @@
+"""The anonymous-lane escape hatch: drain_anonymous / schedule_anonymous.
+
+Anonymous (fire-and-forget) entries make ``Simulator.to_state`` refuse
+— a closure cannot be serialized. The sharded executor's forwarding
+mode snapshots *at quiesce boundaries* by pulling its own pending
+closures out of the heap, snapshotting, and re-injecting them with
+their original (time, seq) identity so the replayed schedule is
+bit-identical to the uninterrupted one. These are the regression tests
+for that round trip.
+"""
+
+import pytest
+
+from repro.sim.engine import Simulator, SnapshotError
+
+
+class TestDrainAnonymous:
+    def test_drained_entries_do_not_fire(self, sim):
+        fired = []
+        cb = lambda: fired.append(sim.now)  # noqa: E731
+        sim.at_call(5.0, cb)
+        sim.at_call(9.0, cb)
+        drained = sim.drain_anonymous()
+        assert [(t, c) for t, _, c in drained] == [(5.0, cb), (9.0, cb)]
+        sim.run()
+        assert fired == []
+
+    def test_round_trip_preserves_firing_order(self, sim):
+        order = []
+        sim.at(3.0, lambda: order.append("keyed-3"), key="a")
+        cb = lambda: order.append("anon")  # noqa: E731
+        sim.at_call(3.0, cb)  # same time, later seq than keyed-3
+        sim.at(3.0, lambda: order.append("keyed-3b"), key="b")
+        drained = sim.drain_anonymous(matching=[cb])
+        assert len(drained) == 1
+        sim.schedule_anonymous(drained)
+        sim.run()
+        # Original sequence numbers travel with the entry: the anonymous
+        # callback still fires between the two keyed events.
+        assert order == ["keyed-3", "anon", "keyed-3b"]
+
+    def test_matching_filter_is_identity_based(self, sim):
+        mine = lambda: None  # noqa: E731
+        other = lambda: None  # noqa: E731
+        sim.at_call(1.0, mine)
+        sim.at_call(2.0, other)
+        drained = sim.drain_anonymous(matching=[mine])
+        assert [cb for _, _, cb in drained] == [mine]
+        # The non-matching entry is still live in the heap.
+        assert sim.peek() == 2.0
+
+    def test_until_bound_splits_at_boundary(self, sim):
+        cb = lambda: None  # noqa: E731
+        sim.at_call(4.0, cb)
+        sim.at_call(6.0, cb)
+        sim.at_call(6.0 + 1e-9, cb)
+        drained = sim.drain_anonymous(until=6.0)
+        assert [t for t, _, _ in drained] == [4.0, 6.0]  # inclusive bound
+        assert sim.peek() == pytest.approx(6.0 + 1e-9)
+
+    def test_past_times_clamp_to_now_and_keep_seq_order(self, sim):
+        order = []
+        first = lambda: order.append("first")  # noqa: E731
+        second = lambda: order.append("second")  # noqa: E731
+        sim.at_call(2.0, first)
+        sim.at_call(3.0, second)
+        drained = sim.drain_anonymous()
+        sim.at(10.0, lambda: order.append("keyed"), key="k")
+        sim.run()  # clock is now past both drained due times
+        assert order == ["keyed"]
+        sim.schedule_anonymous(drained)
+        sim.run()
+        # Both clamp to now=10.0; preserved seqs keep the original
+        # relative order (and both predate the keyed event's seq, but
+        # that event already fired).
+        assert order == ["keyed", "first", "second"]
+
+    def test_reinjecting_unallocated_seq_is_rejected(self, sim):
+        cb = lambda: None  # noqa: E731
+        with pytest.raises(ValueError, match="never allocated"):
+            sim.schedule_anonymous([(1.0, 99, cb)])
+
+    def test_snapshot_refuses_until_drained(self, sim):
+        cb = lambda: None  # noqa: E731
+        sim.at_call(5.0, cb)
+        with pytest.raises(SnapshotError):
+            sim.to_state()
+        drained = sim.drain_anonymous(matching=[cb])
+        state = sim.to_state()  # now clean
+        restored = Simulator.from_state(state, callbacks={})
+        # The restored simulator's cursor covers the drained seqs, so
+        # the owning driver can re-inject into the restored instance.
+        count = restored.schedule_anonymous(drained)
+        assert count == 1
+        assert restored.peek() == 5.0
+
+    def test_drain_ignores_keyed_and_cancelled_entries(self, sim):
+        sim.at(1.0, lambda: None, key="keyed")
+        event = sim.at(2.0, lambda: None, key="doomed")
+        event.cancel()
+        assert sim.drain_anonymous() == []
+        assert sim.peek() == 1.0
